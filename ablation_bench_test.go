@@ -1,0 +1,240 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// reports the quantity that the ablation is about as a custom metric, so
+// `go test -bench=Ablation` doubles as a sensitivity report.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dbms"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/pstore"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func mustCluster(b *testing.B, n int, spec hw.Spec) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(cluster.Homogeneous(n, spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAblationWarmVsCold compares the §5.3.1 warm-cache regime
+// (CPU-rate scans) against cold disk-rate scans for the same join.
+func BenchmarkAblationWarmVsCold(b *testing.B) {
+	spec := workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
+	var warmS, coldS float64
+	for i := 0; i < b.N; i++ {
+		cw := mustCluster(b, 4, hw.BeefyL5630())
+		rw, _, err := pstore.RunJoin(cw, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc := mustCluster(b, 4, hw.BeefyL5630())
+		rc, _, err := pstore.RunJoin(cc, pstore.Config{WarmCache: false, BatchRows: 200_000}, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmS, coldS = rw.Seconds, rc.Seconds
+	}
+	b.ReportMetric(coldS/warmS, "cold/warm-slowdown")
+}
+
+// BenchmarkAblationBatchSize checks simulation fidelity: the virtual
+// response time must be (nearly) invariant to the exchange batch size,
+// which only controls event granularity.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	// SF 40 keeps the query long enough that per-batch store-and-forward
+	// latency (the one real granularity effect) stays in the noise.
+	spec := workload.Q3Join(40, 0.05, 0.05, pstore.DualShuffle)
+	var dev float64
+	for i := 0; i < b.N; i++ {
+		var secs []float64
+		for _, rows := range []int{50_000, 200_000, 800_000} {
+			c := mustCluster(b, 4, hw.ClusterV())
+			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: rows}, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			secs = append(secs, r.Seconds)
+		}
+		min, max := secs[0], secs[0]
+		for _, s := range secs {
+			min, max = math.Min(min, s), math.Max(max, s)
+		}
+		dev = (max - min) / min
+	}
+	b.ReportMetric(dev, "batch-size-deviation")
+	if dev > 0.05 {
+		b.Fatalf("batch size changes virtual time by %.1f%%; fidelity bug", dev*100)
+	}
+}
+
+// BenchmarkAblationSkew quantifies the §4.1 data-skew bottleneck: Zipf
+// probe keys vs uniform, same join, same cluster.
+func BenchmarkAblationSkew(b *testing.B) {
+	var slow, waste float64
+	for i := 0; i < b.N; i++ {
+		run := func(theta float64) (float64, float64) {
+			c := mustCluster(b, 8, hw.ClusterV())
+			spec := workload.Q3Join(10, 0.05, 0.5, pstore.DualShuffle)
+			spec.Probe.SkewTheta = theta
+			r, j, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.Seconds, j
+		}
+		t0, j0 := run(0)
+		t1, j1 := run(1.0)
+		slow, waste = t1/t0, j1/j0
+	}
+	b.ReportMetric(slow, "zipf1-slowdown")
+	b.ReportMetric(waste, "zipf1-energy-ratio")
+}
+
+// BenchmarkAblationDVFS reports the EDP effect of downclocking to 60%
+// for a network-bound vs a CPU-bound join (model-level).
+func BenchmarkAblationDVFS(b *testing.B) {
+	var netEDP, cpuEDP float64
+	for i := 0; i < b.N; i++ {
+		base := model.FromSpecs(8, hw.ClusterV(), 0, hw.WimpyModelNode())
+		base.Bld, base.Prb = 700_000, 2_800_000
+		base.WarmCache = true
+
+		net := base
+		net.Sbld, net.Sprb = 0.10, 0.10
+		pts := model.FrequencySweep(net, 0.5, []float64{1, 0.6})
+		netEDP = pts[1].NormEng / pts[1].NormPerf
+
+		cpu := base
+		cpu.Sbld, cpu.Sprb = 0.01, 0.01
+		pts = model.FrequencySweep(cpu, 0.5, []float64{1, 0.6})
+		cpuEDP = pts[1].NormEng / pts[1].NormPerf
+	}
+	b.ReportMetric(netEDP, "netbound-EDP@0.6f")
+	b.ReportMetric(cpuEDP, "cpubound-EDP@0.6f")
+}
+
+// BenchmarkAblationCongestion shows why the dbms simulator needs switch
+// interference: with ideal per-port scaling (exponent 0) the Q12 curve
+// cannot reproduce the paper's 8N performance ratio.
+func BenchmarkAblationCongestion(b *testing.B) {
+	var ideal, calibrated float64
+	for i := 0; i < b.N; i++ {
+		perf8 := func(congestion float64) float64 {
+			q := dbms.VerticaQ12()
+			for j := range q.Stages {
+				if q.Stages[j].Kind == dbms.Repartition {
+					q.Stages[j].Congestion = congestion
+				}
+			}
+			res, err := dbms.SizeSweep(q, []int{8, 16}, hw.ClusterV())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res[16].Seconds / res[8].Seconds
+		}
+		ideal = perf8(0)
+		calibrated = perf8(dbms.Q12Congestion)
+	}
+	b.ReportMetric(ideal, "perf8N-ideal-switch")
+	b.ReportMetric(calibrated, "perf8N-calibrated")
+}
+
+// BenchmarkAblationJoinWork sweeps the engine's JoinWork CPU constant to
+// show results are robust to the one free parameter of the engine.
+func BenchmarkAblationJoinWork(b *testing.B) {
+	spec := workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		var secs []float64
+		for _, jw := range []float64{0.5, 1.0, 2.0} {
+			c := mustCluster(b, 8, hw.ClusterV())
+			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000, JoinWork: jw}, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			secs = append(secs, r.Seconds)
+		}
+		spread = (secs[2] - secs[0]) / secs[0]
+	}
+	b.ReportMetric(spread, "joinwork-0.5..2-spread")
+}
+
+// BenchmarkAblationBatchingPolicy reports the delayed-execution trade
+// (internal/sched): energy ratio and mean-response ratio of batched vs
+// immediate scheduling for a sparse stream.
+func BenchmarkAblationBatchingPolicy(b *testing.B) {
+	var energyRatio, respRatio float64
+	for i := 0; i < b.N; i++ {
+		wl := sched.Periodic(workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle), 8, 15)
+		mk := func() (*cluster.Cluster, error) {
+			return cluster.New(cluster.Homogeneous(4, hw.ClusterV()))
+		}
+		imm, bat, err := sched.Compare(mk, pstore.Config{WarmCache: true, BatchRows: 200_000}, wl, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := math.Max(imm.Makespan, bat.Makespan)
+		sleepW := imm.IdleWatts * 0.1
+		energyRatio = bat.EnergyWithSleep(h, sleepW, 10) / imm.EnergyWithSleep(h, sleepW, 10)
+		respRatio = bat.MeanResp / imm.MeanResp
+	}
+	b.ReportMetric(energyRatio, "batched/immediate-sleep-energy")
+	b.ReportMetric(respRatio, "batched/immediate-resp")
+}
+
+// BenchmarkAblationElastic quantifies replication-based elastic
+// scale-down (chained replica adoption, §2 [24]) against native
+// repartitioning: divisible online counts match; indivisible ones pay
+// the straggler tax.
+func BenchmarkAblationElastic(b *testing.B) {
+	var at6, at4 float64
+	for i := 0; i < b.N; i++ {
+		run := func(n, homes int) float64 {
+			spec := workload.Q3Join(10, 0.02, 0.02, pstore.DualShuffle)
+			spec.Build.HomeNodes = homes
+			spec.Probe.HomeNodes = homes
+			c := mustCluster(b, n, hw.ClusterV())
+			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.Seconds
+		}
+		at6 = run(6, 8) / run(6, 0)
+		at4 = run(4, 8) / run(4, 0)
+	}
+	b.ReportMetric(at6, "elastic/native@6of8")
+	b.ReportMetric(at4, "elastic/native@4of8")
+}
+
+// BenchmarkAblationManagedSleep compares the fully simulated
+// power-managed scheduler against the unmanaged run for a sparse stream.
+func BenchmarkAblationManagedSleep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		wl := sched.Periodic(workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle), 6, 60)
+		policy := sched.Batched{Window: 120}
+		cu := mustCluster(b, 4, hw.ClusterV())
+		unmanaged, err := sched.Run(cu, pstore.Config{WarmCache: true, BatchRows: 200_000}, wl, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm := mustCluster(b, 4, hw.ClusterV())
+		managed, err := sched.RunManaged(cm, pstore.Config{WarmCache: true, BatchRows: 200_000}, wl, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = managed.Joules / unmanaged.Joules
+	}
+	b.ReportMetric(ratio, "managed/unmanaged-energy")
+}

@@ -1,0 +1,157 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper's evaluation, one benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports, besides the usual ns/op, custom metrics
+// extracted from the experiment: the headline normalized-performance /
+// normalized-energy values the corresponding figure plots, so a bench
+// run doubles as a numeric regression check of the reproduction.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metrics func(b *testing.B, rep experiments.Report)) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metrics != nil {
+		metrics(b, rep)
+	}
+}
+
+// reportPair publishes one paper-vs-measured pair as benchmark metrics.
+func reportPair(b *testing.B, rep experiments.Report, metric, unit string) {
+	for _, p := range rep.Pairs {
+		if p.Metric == metric {
+			b.ReportMetric(p.Measured, unit)
+			return
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "SysPower exponent B", "fitted-exponent")
+	})
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	benchExperiment(b, "fig1a", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "8N normalized performance", "perf-8N")
+		reportPair(b, rep, "8N normalized energy", "energy-8N")
+	})
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	benchExperiment(b, "fig1b", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "designs below EDP line (of 6 mixes)", "below-EDP")
+	})
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	benchExperiment(b, "fig2a", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "8N normalized energy", "energy-8N")
+	})
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	benchExperiment(b, "fig2b", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "8N repartition time fraction", "net-fraction")
+	})
+}
+
+func BenchmarkHadoopDB(b *testing.B) {
+	benchExperiment(b, "hadoopdb", nil)
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "1q: 4N energy", "energy-4N-1q")
+		reportPair(b, rep, "4q: 4N energy", "energy-4N-4q")
+	})
+}
+
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "1q: 4N performance", "perf-4N")
+		reportPair(b, rep, "1q: 4N energy", "energy-4N")
+	})
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "shuffle: half-cluster energy", "shuffle-half")
+		reportPair(b, rep, "broadcast: half-cluster energy", "broadcast-half")
+	})
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", nil)
+}
+
+func BenchmarkFig6(b *testing.B) {
+	benchExperiment(b, "fig6", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "Laptop B (i7 620m) energy (J)", "laptopB-J")
+	})
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	benchExperiment(b, "fig7a", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "BW energy saving at L100%", "BW-saving-L100")
+	})
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	benchExperiment(b, "fig7b", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "BW energy saving at L100%", "BW-saving-L100")
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, "fig8", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "max validation error (paper bound)", "max-rel-err")
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	benchExperiment(b, "fig9", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "max validation error (paper bound)", "max-rel-err")
+	})
+}
+
+func BenchmarkTable3(b *testing.B) {
+	benchExperiment(b, "table3", nil)
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, "fig10a", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "0B,8W normalized energy", "allwimpy-energy")
+	})
+	benchExperiment(b, "fig10b", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "2B,6W normalized performance", "2B6W-perf")
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", func(b *testing.B, rep experiments.Report) {
+		reportPair(b, rep, "knee index at L2% (6=2B,6W)", "knee-L2")
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	benchExperiment(b, "fig12", nil)
+}

@@ -1,0 +1,76 @@
+// Command designer recommends an energy-efficient cluster design for a
+// parallel hash-join workload, applying the paper's Figure 12 principles.
+//
+// Usage:
+//
+//	designer -build-gb 700 -probe-gb 2800 -bsel 0.10 -psel 0.02 \
+//	         -nodes 8 -target 0.6
+//
+// The tool classifies the workload (scalable vs bottlenecked), explores
+// every homogeneous size and Beefy/Wimpy mix, and prints the
+// recommendation with the full candidate table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+func main() {
+	var (
+		buildGB = flag.Float64("build-gb", 700, "build (inner) table size in GB")
+		probeGB = flag.Float64("probe-gb", 2800, "probe (outer) table size in GB")
+		bsel    = flag.Float64("bsel", 0.10, "build predicate selectivity (0..1]")
+		psel    = flag.Float64("psel", 0.10, "probe predicate selectivity (0..1]")
+		nodes   = flag.Int("nodes", 8, "cluster size to design for")
+		target  = flag.Float64("target", 0.6, "minimum acceptable normalized performance (0..1]")
+		warm    = flag.Bool("warm", false, "working set cached (scan at CPU rate)")
+	)
+	flag.Parse()
+
+	base := model.FromSpecs(*nodes, hw.ClusterV(), 0, hw.WimpyModelNode())
+	base.Bld = *buildGB * 1000
+	base.Prb = *probeGB * 1000
+	base.Sbld, base.Sprb = *bsel, *psel
+	base.WarmCache = *warm
+
+	d := core.Designer{Base: base, MaxNodes: *nodes}
+	adv, err := d.Recommend(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:   ORDERS-like %g GB @ %.0f%% ⋈ LINEITEM-like %g GB @ %.0f%%\n",
+		*buildGB, *bsel*100, *probeGB, *psel*100)
+	fmt.Printf("class:      %s\n", adv.Class)
+	fmt.Printf("recommend:  %s  (%.1f s, %.0f kJ; perf %.2f, energy %.2f vs %dB)\n",
+		adv.Best.Label(), adv.Best.Seconds, adv.Best.Joules/1000,
+		adv.Best.NormPerf, adv.Best.NormEnergy, *nodes)
+	if adv.BestHomogeneous.NB > 0 && adv.BestHomogeneous.Label() != adv.Best.Label() {
+		fmt.Printf("best homog: %s  (perf %.2f, energy %.2f)\n",
+			adv.BestHomogeneous.Label(), adv.BestHomogeneous.NormPerf, adv.BestHomogeneous.NormEnergy)
+	}
+	fmt.Printf("principle:  %s\n\n", adv.Principle)
+
+	var pts []power.Point
+	for _, c := range adv.Candidates {
+		pts = append(pts, c.Point())
+	}
+	metrics.SortByPerf(pts)
+	s := metrics.Series{
+		Title:  "design space (normalized to the all-Beefy full cluster)",
+		XLabel: "Normalized Performance", YLabel: "Normalized Energy",
+		Points: pts,
+	}
+	fmt.Print(s.Table())
+	fmt.Println()
+	fmt.Print(s.Plot(56, 14))
+}

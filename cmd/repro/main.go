@@ -1,0 +1,68 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -list                 list experiment IDs
+//	repro -exp fig1a            run one experiment
+//	repro -exp all              run everything (in paper order)
+//	repro -exp fig3 -csv        emit the series as CSV instead of text
+//
+// Each experiment prints the normalized energy/performance series the
+// corresponding figure plots, an ASCII rendering of the figure, and a
+// paper-vs-measured comparison table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (or 'all')")
+		list = flag.Bool("list", false, "list experiment ids")
+		csv  = flag.Bool("csv", false, "emit series as CSV")
+		md   = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			for _, s := range rep.Series {
+				fmt.Printf("# %s\n%s\n", s.Title, s.CSV())
+			}
+		case *md:
+			fmt.Println(rep.Markdown())
+		default:
+			fmt.Println(rep.String())
+		}
+	}
+}

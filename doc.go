@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Towards
+// Energy-Efficient Database Cluster Design" (Lang, Harizopoulos, Patel,
+// Shah, Tsirogiannis; PVLDB 5(11), 2012).
+//
+// The module rebuilds the paper's two artifacts — the P-store parallel
+// query execution kernel and the analytical performance/energy model of
+// parallel hash joins — on top of a deterministic discrete-event cluster
+// simulator, regenerates every table and figure of the evaluation, and
+// implements the paper's stated future work (data skew, entire
+// workloads with power management, DVFS, replication-based elasticity).
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// this package (bench_test.go, ablation_bench_test.go) regenerate each
+// experiment:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,58 @@
+// Cluster designer: size a cluster for a nightly reporting join under an
+// SLA, trading performance for energy with the paper's Figure 12
+// principles.
+//
+// Scenario: a retail warehouse joins a 700 GB ORDERS table (10% of rows
+// qualify) against a 2.8 TB LINEITEM table (2% qualify) every night. The
+// SLA tolerates up to 40% slowdown relative to the fastest (8 Beefy
+// node) configuration. How should the cluster be built?
+//
+//	go run ./examples/cluster_designer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func main() {
+	base := model.FromSpecs(8, hw.ClusterV(), 0, hw.WimpyModelNode())
+	base.Bld, base.Sbld = 700_000, 0.10   // ORDERS: 700 GB, 10% qualify
+	base.Prb, base.Sprb = 2_800_000, 0.02 // LINEITEM: 2.8 TB, 2% qualify
+
+	d := core.Designer{Base: base, MaxNodes: 8}
+
+	class, err := d.Classify(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload classification: %s\n", class)
+
+	adv, err := d.Recommend(0.6) // SLA: >= 60% of reference performance
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nrecommended design: %s\n", adv.Best.Label())
+	fmt.Printf("  response time %.0f s, energy %.0f kJ\n", adv.Best.Seconds, adv.Best.Joules/1000)
+	fmt.Printf("  vs all-Beefy:  %.0f%% of performance at %.0f%% of the energy\n",
+		adv.Best.NormPerf*100, adv.Best.NormEnergy*100)
+	fmt.Printf("  best homogeneous alternative: %s (%.0f%% perf, %.0f%% energy)\n",
+		adv.BestHomogeneous.Label(), adv.BestHomogeneous.NormPerf*100, adv.BestHomogeneous.NormEnergy*100)
+	fmt.Printf("\n%s\n", adv.Principle)
+
+	fmt.Println("\nfull design space (meets-SLA designs first, by energy):")
+	fmt.Printf("  %-8s %10s %10s %8s %8s\n", "design", "time(s)", "kJ", "perf", "energy")
+	for _, c := range adv.Candidates {
+		marker := " "
+		if c.Label() == adv.Best.Label() {
+			marker = "*"
+		}
+		fmt.Printf("%s %-8s %10.0f %10.0f %8.2f %8.2f\n",
+			marker, c.Label(), c.Seconds, c.Joules/1000, c.NormPerf, c.NormEnergy)
+	}
+}

@@ -1,0 +1,69 @@
+// Query planner: let the engine's energy-aware optimizer (§6: "using
+// initial hardware calibration data and query optimizer information")
+// pick the physical plan for a join as the predicate selectivity varies,
+// then execute each plan and report time and energy.
+//
+//	go run ./examples/query_planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/pstore"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func main() {
+	mk := func() *cluster.Cluster {
+		c, err := cluster.New(cluster.Mixed(2, hw.BeefyL5630(), 2, hw.LaptopB()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	base := pstore.PlanRequest{
+		Build: storage.TableDef{Table: tpch.Orders, SF: 100, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "O_CUSTKEY"},
+		Probe: storage.TableDef{Table: tpch.Lineitem, SF: 100, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "L_SHIPDATE"},
+		BuildKeyColumn: "O_ORDERKEY", ProbeKeyColumn: "L_ORDERKEY",
+	}
+
+	fmt.Println("LINEITEM ⋈ ORDERS on a 2 Beefy + 2 Wimpy cluster (SF 100)")
+	fmt.Printf("%-22s %-16s %-14s %10s %10s\n", "selectivities", "chosen plan", "execution", "time (s)", "kJ")
+	for _, sel := range [][2]float64{
+		{0.001, 0.50}, // tiny build side
+		{0.05, 0.50},  // moderate
+		{0.50, 0.50},  // huge hash table
+	} {
+		req := base
+		req.BuildSel, req.ProbeSel = sel[0], sel[1]
+		c := mk()
+		plan, err := pstore.PlanJoin(c, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "homogeneous"
+		if len(plan.Spec.BuildNodes) > 0 {
+			mode = fmt.Sprintf("hetero (%dB)", len(plan.Spec.BuildNodes))
+		}
+		res, joules, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000}, plan.Spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("O %5.1f%% / L %5.1f%%   %-16s %-14s %10.1f %10.1f\n",
+			sel[0]*100, sel[1]*100, plan.Spec.Method, mode, res.Seconds, joules/1000)
+	}
+
+	fmt.Println("\nthe optimizer's reasoning for the last plan:")
+	c := mk()
+	req := base
+	req.BuildSel, req.ProbeSel = 0.50, 0.50
+	plan, _ := pstore.PlanJoin(c, req)
+	fmt.Println("  " + plan.Explain())
+}

@@ -1,0 +1,399 @@
+// Package cluster assembles simulated shared-nothing database clusters:
+// nodes built from hardware specs (internal/hw), wired through a switched
+// network fabric, each with an attached energy meter.
+//
+// A node exposes three rate resources to the execution engine:
+//
+//   - CPU:  the node's maximum tuple-processing bandwidth (C_B / C_W);
+//   - Disk: sequential scan bandwidth (I);
+//   - NIC:  one egress and one ingress server, each at L MB/s.
+//
+// The fabric models a non-blocking switch with bandwidth-limited ports —
+// exactly the regime of the paper's SMCGS5 gigabit switch. Both network
+// bottlenecks the paper identifies emerge from it naturally:
+//
+//   - shuffle egress saturation: a node repartitioning its data can ship
+//     at most L, so an N-node shuffle delivers at most N*L/(N-1) of
+//     qualified data per node;
+//   - Beefy ingestion saturation: in heterogeneous plans all nodes send
+//     to the N_B Beefy nodes, whose combined ingress caps delivery at
+//     N_B*L ("there is an ingestion network limitation at the Beefy
+//     nodes, which becomes a performance bottleneck first", §5.3).
+//
+// Transfers are pipelined per batch (egress and ingress of consecutive
+// batches overlap) with bounded staging queues providing backpressure.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Message is one unit of network traffic: a batch of tuples bound for a
+// mailbox on the destination node, or an end-of-stream marker.
+type Message struct {
+	From, To int
+	Batch    storage.Batch
+	// EOS marks the sender's last message on this mailbox.
+	EOS bool
+	// Dest is the mailbox (operator input queue) on the destination node.
+	Dest *Mailbox
+}
+
+// Bytes returns the wire size of the message (EOS markers are free).
+func (m Message) Bytes() float64 {
+	if m.EOS {
+		return 0
+	}
+	return m.Batch.Bytes()
+}
+
+// Mailbox is an operator input queue fed by the fabric. Receivers Get
+// batches until every expected sender has delivered EOS.
+type Mailbox struct {
+	name    string
+	q       *sim.Queue[Message]
+	senders int
+}
+
+// NewMailbox creates a mailbox expecting EOS from the given number of
+// senders. Capacity bounds buffered batches (backpressure).
+func NewMailbox(name string, senders, capacity int) *Mailbox {
+	return &Mailbox{name: name, q: sim.NewQueue[Message](name, capacity), senders: senders}
+}
+
+// Recv returns the next batch, or ok=false when all senders have closed.
+func (mb *Mailbox) Recv(p *sim.Proc) (storage.Batch, bool) {
+	for {
+		msg, ok := mb.q.Get(p)
+		if !ok {
+			return storage.Batch{}, false
+		}
+		if msg.EOS {
+			mb.senders--
+			if mb.senders <= 0 {
+				mb.q.Close()
+				return storage.Batch{}, false
+			}
+			continue
+		}
+		return msg.Batch, true
+	}
+}
+
+// RecvMany blocks for at least one batch, then opportunistically drains
+// whatever else is already buffered (up to max batches), so a consumer
+// can charge its CPU once for the whole group. This is the vectorized-
+// consumption pattern real operators use; without it, per-batch CPU
+// charges would serialize behind large scan bookings on the shared FCFS
+// CPU server and artificially throttle receive rates. ok=false means all
+// senders have closed and nothing remains.
+func (mb *Mailbox) RecvMany(p *sim.Proc, max int) ([]storage.Batch, bool) {
+	first, ok := mb.Recv(p)
+	if !ok {
+		return nil, false
+	}
+	out := []storage.Batch{first}
+	for len(out) < max {
+		msg, ok := mb.q.TryGet()
+		if !ok {
+			break
+		}
+		if msg.EOS {
+			mb.senders--
+			if mb.senders <= 0 {
+				mb.q.Close()
+				break
+			}
+			continue
+		}
+		out = append(out, msg.Batch)
+	}
+	return out, true
+}
+
+// Node is one simulated server.
+type Node struct {
+	ID   int
+	Spec hw.Spec
+
+	CPU     *sim.Server
+	Disk    *sim.Server
+	Egress  *sim.Server
+	Ingress *sim.Server
+	Meter   *power.Meter
+
+	inbox *sim.Queue[Message]
+
+	eng       *sim.Engine
+	asleep    bool
+	sleepFrom sim.Time
+	sleeps    [][2]sim.Time
+}
+
+// IsWimpy reports whether the node is a low-power node.
+func (n *Node) IsWimpy() bool { return n.Spec.Class == hw.Wimpy }
+
+// Asleep reports whether the node is currently suspended.
+func (n *Node) Asleep() bool { return n.asleep }
+
+// Sleep suspends the node at the current virtual time. The node must be
+// quiescent (no queued CPU work); running work while asleep is a
+// scheduler bug the meter will catch.
+func (n *Node) Sleep() error {
+	now := n.eng.Now()
+	if n.asleep {
+		return fmt.Errorf("cluster: node %d already asleep", n.ID)
+	}
+	if n.CPU.FreeAt() > now {
+		return fmt.Errorf("cluster: node %d has queued CPU work until t=%.3f", n.ID, n.CPU.FreeAt())
+	}
+	n.asleep = true
+	n.sleepFrom = now
+	return nil
+}
+
+// Wake begins the suspend->ready transition at the current virtual time:
+// the sleep interval ends now, and the node is usable WakeDelay seconds
+// later (the transition burns idle power — §2's "direct cost"). It
+// returns the time at which the node is ready.
+func (n *Node) Wake() sim.Time {
+	now := n.eng.Now()
+	if n.asleep {
+		n.sleeps = append(n.sleeps, [2]sim.Time{n.sleepFrom, now})
+		n.asleep = false
+	}
+	return now + n.Spec.WakeDelay()
+}
+
+// AsleepBetween returns the seconds the node was suspended during [a, b),
+// including a still-open sleep interval.
+func (n *Node) AsleepBetween(a, b sim.Time) float64 {
+	total := 0.0
+	overlap := func(s, e sim.Time) {
+		lo, hi := s, e
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	for _, iv := range n.sleeps {
+		overlap(iv[0], iv[1])
+	}
+	if n.asleep {
+		overlap(n.sleepFrom, b)
+	}
+	return total
+}
+
+// Cluster is a set of nodes on a common fabric and simulation engine.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+
+	// InboxCapacity bounds per-node in-flight staged batches
+	// (default 8; set before Build).
+	inboxCap int
+}
+
+// Config controls cluster construction.
+type Config struct {
+	// Specs lists the node hardware, one entry per node. Order matters:
+	// heterogeneous plans treat the Beefy nodes as hash-table owners.
+	Specs []hw.Spec
+	// InboxCapacity bounds staged batches per node (default 8).
+	InboxCapacity int
+	// TraceMeters records per-second (utilization, watts) samples on
+	// every node so Timeline can render execution heat strips.
+	TraceMeters bool
+}
+
+// New builds a cluster on a fresh simulation engine.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	cap := cfg.InboxCapacity
+	if cap <= 0 {
+		cap = 8
+	}
+	c := &Cluster{Eng: sim.New(), inboxCap: cap}
+	for i, spec := range cfg.Specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		n := &Node{ID: i, Spec: spec, eng: c.Eng}
+		n.CPU = sim.NewServer(c.Eng, fmt.Sprintf("n%d.cpu", i), spec.CPUBandwidth*1e6)
+		n.Disk = sim.NewServer(c.Eng, fmt.Sprintf("n%d.disk", i), spec.DiskMBps*1e6)
+		n.Egress = sim.NewServer(c.Eng, fmt.Sprintf("n%d.tx", i), spec.NetMBps*1e6)
+		n.Ingress = sim.NewServer(c.Eng, fmt.Sprintf("n%d.rx", i), spec.NetMBps*1e6)
+		n.Meter = power.NewMeter(c.Eng, n.CPU, spec.Power, spec.UtilFloor)
+		n.Meter.SetSleepModel(n.AsleepBetween, spec.SleepModelWatts())
+		if cfg.TraceMeters {
+			n.Meter.Trace()
+		}
+		n.inbox = sim.NewQueue[Message](fmt.Sprintf("n%d.inbox", i), cap)
+		c.Nodes = append(c.Nodes, n)
+		c.startIngressPump(n)
+	}
+	return c, nil
+}
+
+// startIngressPump runs the per-node receive loop: staged messages are
+// serialized through the ingress port, then delivered to their mailbox.
+// A full mailbox stalls the pump, which backpressures senders — the
+// ingestion bottleneck.
+func (c *Cluster) startIngressPump(n *Node) {
+	c.Eng.Go(fmt.Sprintf("n%d.rxpump", n.ID), func(p *sim.Proc) {
+		for {
+			msg, ok := n.inbox.Get(p)
+			if !ok {
+				return
+			}
+			if b := msg.Bytes(); b > 0 {
+				n.Ingress.Process(p, b)
+			}
+			msg.Dest.q.Put(p, msg)
+		}
+	})
+}
+
+// Send transmits msg from the calling process's node. It charges the
+// sender's egress port, then stages the message at the destination
+// (blocking when the destination is saturated). Local messages (From ==
+// To) bypass the network entirely, as a node's own partition never
+// crosses the wire.
+func (c *Cluster) Send(p *sim.Proc, msg Message) {
+	if msg.From == msg.To {
+		msg.Dest.q.Put(p, msg)
+		return
+	}
+	src := c.Nodes[msg.From]
+	if b := msg.Bytes(); b > 0 {
+		src.Egress.Process(p, b)
+	}
+	c.Nodes[msg.To].inbox.Put(p, msg)
+}
+
+// Beefy returns the IDs of Beefy-class nodes, in order.
+func (c *Cluster) Beefy() []int {
+	var out []int
+	for _, n := range c.Nodes {
+		if !n.IsWimpy() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Wimpy returns the IDs of Wimpy-class nodes, in order.
+func (c *Cluster) Wimpy() []int {
+	var out []int
+	for _, n := range c.Nodes {
+		if n.IsWimpy() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// StopMeters finalizes all node meters at the current virtual time.
+func (c *Cluster) StopMeters() {
+	for _, n := range c.Nodes {
+		n.Meter.Stop()
+	}
+}
+
+// TotalJoules sums metered energy across nodes.
+func (c *Cluster) TotalJoules() float64 {
+	var j float64
+	for _, n := range c.Nodes {
+		j += n.Meter.Joules()
+	}
+	return j
+}
+
+// Timeline renders an ASCII heat strip of per-node CPU utilization over
+// the metered run, one row per node and one column per second of virtual
+// time (downsampled to fit width). Requires Config.TraceMeters and
+// StopMeters having been called. Glyph scale: ' ' idle floor, '.', '-',
+// '=', '#' saturated.
+func (c *Cluster) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	glyph := func(u float64) byte {
+		switch {
+		case u >= 0.9:
+			return '#'
+		case u >= 0.7:
+			return '='
+		case u >= 0.45:
+			return '-'
+		case u >= 0.3:
+			return '.'
+		default:
+			return ' '
+		}
+	}
+	var b strings.Builder
+	for _, n := range c.Nodes {
+		samples := n.Meter.Samples()
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		if len(samples) > 0 {
+			for i := 0; i < width; i++ {
+				lo := i * len(samples) / width
+				hi := (i + 1) * len(samples) / width
+				if hi <= lo {
+					hi = lo + 1
+				}
+				if hi > len(samples) {
+					hi = len(samples)
+				}
+				sum := 0.0
+				for _, s := range samples[lo:hi] {
+					sum += s.Util
+				}
+				row[i] = glyph(sum / float64(hi-lo))
+			}
+		}
+		fmt.Fprintf(&b, "n%-2d %-6s |%s|\n", n.ID, n.Spec.Class, string(row))
+	}
+	b.WriteString("    (' '<30% '.'<45% '-'<70% '='<90% '#'>=90% CPU utilization)\n")
+	return b.String()
+}
+
+// Homogeneous builds a Config with n identical nodes.
+func Homogeneous(n int, spec hw.Spec) Config {
+	specs := make([]hw.Spec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return Config{Specs: specs}
+}
+
+// Mixed builds a Config with nb Beefy followed by nw Wimpy nodes —
+// the paper's "xB,yW" designs.
+func Mixed(nb int, beefy hw.Spec, nw int, wimpy hw.Spec) Config {
+	specs := make([]hw.Spec, 0, nb+nw)
+	for i := 0; i < nb; i++ {
+		specs = append(specs, beefy)
+	}
+	for i := 0; i < nw; i++ {
+		specs = append(specs, wimpy)
+	}
+	return Config{Specs: specs}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/pstore"
+	"repro/internal/workload"
+)
+
+// TestModelEngineCrossValidationGrid runs the analytical model against
+// the engine across a grid of selectivities and Beefy/Wimpy mixes —
+// a much wider sweep than the paper's Figures 8/9 validation — and
+// requires agreement on response time within 15% everywhere. This is the
+// repository's strongest internal-consistency check: two independent
+// implementations of the same physics.
+func TestModelEngineCrossValidationGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine experiment")
+	}
+	type cell struct {
+		nb, nw     int
+		oSel, lSel float64
+	}
+	var grid []cell
+	for _, mix := range [][2]int{{4, 0}, {2, 2}, {3, 1}} {
+		for _, o := range []float64{0.01, 0.10} {
+			for _, l := range []float64{0.05, 0.25, 1.0} {
+				grid = append(grid, cell{mix[0], mix[1], o, l})
+			}
+		}
+	}
+	worst := 0.0
+	worstCell := ""
+	for _, g := range grid {
+		// Engine run at SF 100, warm cache, L5630/LaptopB hardware.
+		cfg := cluster.Mixed(g.nb, hw.BeefyL5630(), g.nw, hw.LaptopB())
+		c, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := workload.Q3Join(100, g.oSel, g.lSel, pstore.DualShuffle)
+		hetero := false
+		if g.nw > 0 && g.oSel >= 0.10 {
+			spec.BuildNodes = c.Beefy()
+			hetero = true
+		}
+		res, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+
+		p := model.FromSpecs(g.nb, hw.BeefyL5630(), g.nw, hw.LaptopB())
+		p.Bld = spec.Build.TotalBytes() / 1e6
+		p.Prb = spec.Probe.TotalBytes() / 1e6
+		p.Sbld, p.Sprb = g.oSel, g.lSel
+		p.WarmCache = true
+		p.ForceHeterogeneous = hetero
+		mres, err := p.HashJoin()
+		if err != nil {
+			t.Fatalf("%+v: model: %v", g, err)
+		}
+		rel := model.RelErr(res.Seconds, mres.Seconds())
+		if rel > worst {
+			worst = rel
+			worstCell = fmt.Sprintf("%dB,%dW O%.0f%% L%.0f%% (engine %.2fs model %.2fs)",
+				g.nb, g.nw, g.oSel*100, g.lSel*100, res.Seconds, mres.Seconds())
+		}
+		if rel > 0.15 {
+			t.Errorf("%dB,%dW O%.0f%% L%.0f%%: engine %.3fs vs model %.3fs (%.1f%% off)",
+				g.nb, g.nw, g.oSel*100, g.lSel*100, res.Seconds, mres.Seconds(), rel*100)
+		}
+	}
+	t.Logf("cross-validation worst case: %.1f%% at %s", worst*100, worstCell)
+}

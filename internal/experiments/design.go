@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/power"
+)
+
+// Fig12 regenerates the Figure 12 design-principles walkthrough with a
+// performance target of 0.6 (accept up to 40% slowdown relative to the
+// eight-Beefy design):
+//
+//	(a) a highly scalable workload  -> use all available nodes;
+//	(b) a bottlenecked workload     -> fewest nodes meeting the target;
+//	(c) the O10%/L2% hash join      -> a 2B,6W heterogeneous design beats
+//	    the best homogeneous design on BOTH energy and performance.
+func Fig12() (Report, error) {
+	const target = 0.6
+	var tables []string
+	var pairs []metrics.Pair
+	var series []metrics.Series
+
+	// (a) Scalable: deeply selective predicates keep every phase
+	// scan-bound (the Q1 regime).
+	pa := Section54Params()
+	pa.Sbld, pa.Sprb = 0.01, 0.01
+	da := core.Designer{Base: pa, MaxNodes: 8}
+	advA, err := da.Recommend(target)
+	if err != nil {
+		return Report{}, err
+	}
+	tables = append(tables, fmt.Sprintf("(a) scalable workload (O1%%/L1%%):\n    class=%s  best=%s\n    %s\n",
+		advA.Class, advA.Best.Label(), advA.Principle))
+	pairs = append(pairs, metrics.Pair{Metric: "(a) recommended Beefy nodes", Paper: 8, Measured: float64(advA.Best.NB)})
+
+	// (b) Bottlenecked homogeneous: the O10/L10 network-bound join.
+	pb := Section54Params()
+	pb.Sbld, pb.Sprb = 0.10, 0.10
+	db := core.Designer{Base: pb, MaxNodes: 8}
+	advB, err := db.Recommend(target)
+	if err != nil {
+		return Report{}, err
+	}
+	tables = append(tables, fmt.Sprintf("(b) bottlenecked workload (O10%%/L10%%):\n    class=%s  best homogeneous=%s (perf %.2f, energy %.2f)\n    %s\n",
+		advB.Class, advB.BestHomogeneous.Label(), advB.BestHomogeneous.NormPerf,
+		advB.BestHomogeneous.NormEnergy, advB.Principle))
+	if advB.BestHomogeneous.NB >= 8 {
+		return Report{}, fmt.Errorf("fig12(b): expected a smaller homogeneous design, got %s", advB.BestHomogeneous.Label())
+	}
+
+	// (c) Heterogeneous: the O10/L2 walkthrough of Section 6.
+	pc := Section54Params()
+	pc.Sbld, pc.Sprb = 0.10, 0.02
+	dc := core.Designer{Base: pc, MaxNodes: 8}
+	advC, err := dc.Recommend(target)
+	if err != nil {
+		return Report{}, err
+	}
+	var pts []power.Point
+	for _, c := range advC.Candidates {
+		pts = append(pts, c.Point())
+	}
+	metrics.SortByPerf(pts)
+	series = append(series, metrics.Series{
+		Title:  "Fig 12(c): O10%/L2% design space (homogeneous sizes + 8-node mixes)",
+		XLabel: "Normalized Performance", YLabel: "Normalized Energy Consumption",
+		Points: pts,
+	})
+	var c strings.Builder
+	fmt.Fprintf(&c, "(c) heterogeneous opportunity (O10%%/L2%%), target perf >= %.1f:\n", target)
+	fmt.Fprintf(&c, "    best homogeneous: %-6s perf %.3f energy %.3f\n",
+		advC.BestHomogeneous.Label(), advC.BestHomogeneous.NormPerf, advC.BestHomogeneous.NormEnergy)
+	fmt.Fprintf(&c, "    recommended:      %-6s perf %.3f energy %.3f (heterogeneous=%v)\n",
+		advC.Best.Label(), advC.Best.NormPerf, advC.Best.NormEnergy, advC.Best.Heterogeneous)
+	fmt.Fprintf(&c, "    %s\n", advC.Principle)
+	tables = append(tables, c.String())
+
+	pairs = append(pairs,
+		metrics.Pair{Metric: "(c) recommended Wimpy nodes > 0", Paper: 1, Measured: boolTo01(advC.Best.NW > 0)},
+		metrics.Pair{Metric: "(c) hetero energy < best homogeneous", Paper: 1,
+			Measured: boolTo01(advC.Best.Joules < advC.BestHomogeneous.Joules)},
+		metrics.Pair{Metric: "(c) hetero below EDP line", Paper: 1,
+			Measured: boolTo01(advC.Best.Point().BelowEDPLine(0.01))},
+	)
+	return Report{ID: "fig12", Title: "Design principles walkthrough", Series: series,
+		Tables: tables, Pairs: pairs}, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment returns a Report containing normalized
+// energy/performance series (rendered like the paper's figures), raw
+// tables, and paper-vs-measured comparison rows that feed EXPERIMENTS.md.
+//
+// Experiment IDs follow the paper: table1, fig1a, fig1b, fig2a, fig2b,
+// hadoopdb, fig3, fig4, fig5, table2, fig6, fig7a, fig7b, fig8, fig9,
+// table3, fig10a, fig10b, fig11, fig12.
+//
+// Scale note: engine-backed experiments (fig3-fig7) run the actual
+// P-store engine in phantom-batch mode. Figures 3-5 use TPC-H scale 100
+// rather than the paper's 1000 to keep regeneration fast; every reported
+// quantity is a ratio between cluster designs, and all phases scale
+// linearly in data volume, so the normalized curves are scale-invariant
+// (verified by TestFig3ScaleInvariance).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Report is one regenerated experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Series are figure-like normalized curves.
+	Series []metrics.Series
+	// Tables are preformatted text blocks (configuration tables, raw
+	// measurements).
+	Tables []string
+	// Pairs compare paper-reported numbers against measured ones.
+	Pairs []metrics.Pair
+}
+
+// String renders the full report as text.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t)
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		b.WriteString(s.Table())
+		b.WriteString("\n")
+		b.WriteString(s.Plot(56, 14))
+		b.WriteString("\n")
+	}
+	if len(r.Pairs) > 0 {
+		b.WriteString(metrics.Comparison("paper vs measured", r.Pairs))
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a Markdown section (the format
+// EXPERIMENTS.md uses), with the paper-vs-measured pairs as a table.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	for _, tbl := range r.Tables {
+		b.WriteString("```\n")
+		b.WriteString(tbl)
+		b.WriteString("```\n\n")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "**%s**\n\n", s.Title)
+		b.WriteString("| design | time (s) | energy (J) | norm perf | norm energy | EDP |\n")
+		b.WriteString("|---|---|---|---|---|---|\n")
+		for _, p := range s.Points {
+			pos := "on"
+			switch {
+			case p.BelowEDPLine(0.01):
+				pos = "below"
+			case p.NormEDP() > 1.01:
+				pos = "above"
+			}
+			fmt.Fprintf(&b, "| %s | %.2f | %.0f | %.3f | %.3f | %s |\n",
+				p.Label, p.Seconds, p.Joules, p.NormPerf, p.NormEnerg, pos)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Pairs) > 0 {
+		b.WriteString("| metric | paper | measured |\n|---|---|---|\n")
+		for _, p := range r.Pairs {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f |\n", p.Metric, p.Paper, p.Measured)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (Report, error)
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Cluster-V configuration and SysPower model", Table1},
+		{"fig1a", "Vertica TPC-H Q12 (SF1000): cluster size vs energy/performance", Fig1a},
+		{"fig1b", "Modeled 8-node Beefy/Wimpy designs, ORDERS 10% / LINEITEM 1%", Fig1b},
+		{"fig2a", "Vertica TPC-H Q1: ideal speedup, flat energy", Fig2a},
+		{"fig2b", "Vertica TPC-H Q21: near-ideal speedup", Fig2b},
+		{"hadoopdb", "HadoopDB: coordination overhead (results omitted in paper)", HadoopDB},
+		{"fig3", "P-store dual-shuffle join, concurrency 1/2/4", Fig3},
+		{"fig4", "P-store broadcast join, concurrency 1/2/4", Fig4},
+		{"fig5", "Join plan summary: half vs full cluster", Fig5},
+		{"table2", "Single-node system configurations", Table2},
+		{"fig6", "Single-node hash join: energy vs response time", Fig6},
+		{"fig7a", "AB vs BW clusters, ORDERS 1% (homogeneous execution)", Fig7a},
+		{"fig7b", "AB vs BW clusters, ORDERS 10% (heterogeneous execution)", Fig7b},
+		{"fig8", "Model validation, ORDERS 1% (homogeneous)", Fig8},
+		{"fig9", "Model validation, ORDERS 10% (heterogeneous)", Fig9},
+		{"table3", "Model variables", Table3},
+		{"fig10a", "Modeled mix sweep, ORDERS 1% / LINEITEM 10% (homogeneous)", Fig10a},
+		{"fig10b", "Modeled mix sweep, ORDERS 10% / LINEITEM 10% (heterogeneous)", Fig10b},
+		{"fig11", "Knee movement: ORDERS 10%, LINEITEM 2-10%", Fig11},
+		{"fig12", "Design principles walkthrough (target = 0.6 performance)", Fig12},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}

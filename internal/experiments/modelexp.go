@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+// Section54Params returns the Figure 1(b)/10/11 model parameters: 8-node
+// designs built from cluster-V Beefy nodes and Laptop B Wimpy nodes with
+// the §5.4 I/O settings (M_B=47000, M_W=7000, I=1200, L=100) joining the
+// 700 GB ORDERS and 2.8 TB LINEITEM tables.
+func Section54Params() model.Params {
+	p := model.FromSpecs(8, hw.ClusterV(), 0, hw.WimpyModelNode())
+	p.Bld = 700_000
+	p.Prb = 2_800_000
+	return p
+}
+
+// ValidationParams returns the §5.3.1 validation parameters for the
+// 2 Beefy / 2 Wimpy SF400 cluster: M_B=31000, M_W=7000, I=270, L=95,
+// f_B=79.006*(100u)^0.2451, C_B=4034, warm-cache scan rates.
+func ValidationParams() model.Params {
+	p := model.FromSpecs(2, hw.BeefyL5630(), 2, hw.LaptopB())
+	p.Bld = 12_000 // ORDERS working set after projection (12 GB)
+	p.Prb = 48_000 // LINEITEM working set after projection (48 GB)
+	p.WarmCache = true
+	return p
+}
+
+func mixSeries(title string, base model.Params, n int) (metrics.Series, []model.DesignPoint) {
+	pts := model.SweepMix(base, n)
+	var ppts []power.Point
+	for _, dp := range pts {
+		if dp.Err != nil {
+			continue
+		}
+		ppts = append(ppts, power.Point{
+			Label:   dp.Label(),
+			Seconds: dp.Res.Seconds(),
+			Joules:  dp.Res.Joules(),
+		})
+	}
+	s, _ := metrics.NewSeries(title, ppts, fmt.Sprintf("%dB,0W", n))
+	return s, pts
+}
+
+// Fig1b regenerates Figure 1(b): modeled 8-node designs for the ORDERS
+// 10% / LINEITEM 1% join. Heterogeneous designs fall BELOW the EDP line:
+// proportionally more energy saved than performance lost.
+func Fig1b() (Report, error) {
+	p := Section54Params()
+	p.Sbld, p.Sprb = 0.10, 0.01
+	s, _ := mixSeries("Modeled 8-node designs, ORDERS 10% / LINEITEM 1%", p, 8)
+	below := 0
+	for _, pt := range s.Points {
+		if pt.Label != "8B,0W" && pt.BelowEDPLine(0.01) {
+			below++
+		}
+	}
+	return Report{
+		ID: "fig1b", Title: "Modeled Beefy/Wimpy designs below the EDP line",
+		Series: []metrics.Series{s},
+		Pairs: []metrics.Pair{
+			{Metric: "designs below EDP line (of 6 mixes)", Paper: 6, Measured: float64(below)},
+		},
+	}, nil
+}
+
+// Table3 prints the model variables with their Table 3 values.
+func Table3() (Report, error) {
+	p := Section54Params()
+	p.Sbld, p.Sprb = 0.10, 0.10
+	var b strings.Builder
+	fmt.Fprintf(&b, `Table 3: Model variables (Section 5.4 settings)
+  N_B+N_W   8-node designs          M_B  %6.0f MB   M_W  %6.0f MB
+  I         %6.0f MB/s             L    %6.0f MB/s
+  Bld       %6.0f MB (ORDERS)      Prb  %7.0f MB (LINEITEM)
+  C_B       %6.0f MB/s             C_W  %6.0f MB/s
+  G_B       %6.2f                  G_W  %6.2f
+  f_B(c) = 130.03*(100c)^0.2369    f_W(c) = 10.994*(100c)^0.2875
+  H = M_W >= (Bld*S_bld)/(N_B+N_W)
+`, p.MB, p.MW, p.I, p.L, p.Bld, p.Prb, p.CB, p.CW, p.GB, p.GW)
+	return Report{ID: "table3", Title: "Model variables", Tables: []string{b.String()}}, nil
+}
+
+// Fig10a regenerates Figure 10(a): ORDERS 1% / LINEITEM 10%, homogeneous
+// execution for every mix. Performance stays at 1.0 (the uniform I/O
+// subsystem masks the Wimpy CPUs) while energy falls ~90% at 0B,8W.
+func Fig10a() (Report, error) {
+	p := Section54Params()
+	p.Sbld, p.Sprb = 0.01, 0.10
+	s, _ := mixSeries("Modeled mix sweep, ORDERS 1% / LINEITEM 10% (homogeneous)", p, 8)
+	last := s.Points[len(s.Points)-1]
+	return Report{
+		ID: "fig10a", Title: "Homogeneous mix sweep", Series: []metrics.Series{s},
+		Pairs: []metrics.Pair{
+			{Metric: "0B,8W normalized performance", Paper: 1.00, Measured: last.NormPerf},
+			{Metric: "0B,8W normalized energy", Paper: 0.10, Measured: last.NormEnerg},
+		},
+	}, nil
+}
+
+// Fig10b regenerates Figure 10(b): ORDERS 10% / LINEITEM 10%,
+// heterogeneous execution. Performance collapses (Beefy ingestion
+// saturates) while energy stays near 1.0 — no significant savings.
+func Fig10b() (Report, error) {
+	p := Section54Params()
+	p.Sbld, p.Sprb = 0.10, 0.10
+	s, _ := mixSeries("Modeled mix sweep, ORDERS 10% / LINEITEM 10% (heterogeneous)", p, 8)
+	last := s.Points[len(s.Points)-1] // 2B,6W (1B/0B infeasible)
+	minE := 1.0
+	for _, pt := range s.Points {
+		if pt.NormEnerg < minE {
+			minE = pt.NormEnerg
+		}
+	}
+	return Report{
+		ID: "fig10b", Title: "Heterogeneous mix sweep (no savings)", Series: []metrics.Series{s},
+		Pairs: []metrics.Pair{
+			{Metric: "2B,6W normalized performance", Paper: 0.25, Measured: last.NormPerf},
+			{Metric: "minimum normalized energy", Paper: 0.95, Measured: minE},
+		},
+	}, nil
+}
+
+// Fig11 regenerates Figure 11: ORDERS 10%, LINEITEM selectivity swept
+// from 10% to 2%. As the probe predicate tightens, the knee moves toward
+// Wimpier designs and the curves dip below the EDP line.
+func Fig11() (Report, error) {
+	p := Section54Params()
+	p.Sbld = 0.10
+	var series []metrics.Series
+	var b strings.Builder
+	fmt.Fprintf(&b, "Knee position (last mix retaining full probe-phase rate):\n")
+	knees := map[float64]int{}
+	for _, l := range []float64{0.10, 0.08, 0.06, 0.04, 0.02} {
+		q := p
+		q.Sprb = l
+		s, pts := mixSeries(fmt.Sprintf("ORDERS 10%%, LINEITEM %.0f%%", l*100), q, 8)
+		series = append(series, s)
+		k := model.Knee(pts, 0.05)
+		knees[l] = k
+		fmt.Fprintf(&b, "  LINEITEM %3.0f%%: knee at %s\n", l*100, pts[k].Label())
+	}
+	return Report{
+		ID: "fig11", Title: "Knee movement with probe selectivity",
+		Series: series, Tables: []string{b.String()},
+		Pairs: []metrics.Pair{
+			{Metric: "knee index at L10% (0=8B)", Paper: 0, Measured: float64(knees[0.10])},
+			{Metric: "knee index at L2% (6=2B,6W)", Paper: 6, Measured: float64(knees[0.02])},
+		},
+	}, nil
+}
+
+// validationReport builds the Figure 8/9 model-vs-engine comparison:
+// response time and energy of the BW cluster across LINEITEM
+// selectivities, normalized to the L=100% workload, model against
+// engine-observed, with the paper's error bound.
+func validationReport(id, title string, oSel float64, hetero bool, errBound float64) (Report, error) {
+	_, bw, _, bwJ, err := RunFig7(oSel, hetero)
+	if err != nil {
+		return Report{}, err
+	}
+	base := ValidationParams()
+	base.Sbld = oSel
+	base.ForceHeterogeneous = hetero
+	type row struct {
+		l            float64
+		obsRT, modRT float64
+		obsE, modE   float64
+	}
+	var rows []row
+	for _, l := range fig7LSels {
+		p := base
+		p.Sprb = l
+		res, err := p.HashJoin()
+		if err != nil {
+			return Report{}, err
+		}
+		rows = append(rows, row{l: l,
+			obsRT: bw[l].Seconds, modRT: res.Seconds(),
+			obsE: bwJ[l], modE: res.Joules()})
+	}
+	ref := rows[len(rows)-1] // L 100%
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — normalized to LINEITEM 100%%\n", title)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n", "LINEITEM", "obs RT", "model RT", "obs E", "model E")
+	var pairs []metrics.Pair
+	maxErr := 0.0
+	for _, r := range rows {
+		obsRT, modRT := r.obsRT/ref.obsRT, r.modRT/ref.modRT
+		obsE, modE := r.obsE/ref.obsE, r.modE/ref.modE
+		fmt.Fprintf(&b, "%9.0f%% %12.3f %12.3f %12.3f %12.3f\n", r.l*100, obsRT, modRT, obsE, modE)
+		for _, e := range []float64{model.RelErr(obsRT, modRT), model.RelErr(obsE, modE)} {
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		pairs = append(pairs,
+			metrics.Pair{Metric: fmt.Sprintf("L%3.0f%% RT ratio (obs vs model)", r.l*100), Paper: obsRT, Measured: modRT},
+			metrics.Pair{Metric: fmt.Sprintf("L%3.0f%% energy ratio (obs vs model)", r.l*100), Paper: obsE, Measured: modE},
+		)
+	}
+	pairs = append(pairs, metrics.Pair{Metric: "max validation error (paper bound)", Paper: errBound, Measured: maxErr})
+	return Report{ID: id, Title: title, Tables: []string{b.String()}, Pairs: pairs}, nil
+}
+
+// Fig8 regenerates Figure 8: model validation for the homogeneous
+// ORDERS 1% workloads (paper: within 5% of observed).
+func Fig8() (Report, error) {
+	return validationReport("fig8", "Model validation, ORDERS 1% (homogeneous)", 0.01, false, 0.05)
+}
+
+// Fig9 regenerates Figure 9: model validation for the heterogeneous
+// ORDERS 10% workloads (paper: within 10%).
+func Fig9() (Report, error) {
+	return validationReport("fig9", "Model validation, ORDERS 10% (heterogeneous)", 0.10, true, 0.10)
+}

@@ -1,0 +1,281 @@
+// Package hw is the hardware catalog for the reproduction: every node
+// type that appears in the paper (Tables 1, 2, and 3 plus Section 5.2's
+// cluster specifications), with its CPU bandwidth, memory capacity, I/O
+// and network rates, inherent engine utilization constant, and fitted
+// power model.
+//
+// Provenance of each constant is noted inline. Where the paper reports
+// only partial data for a system (the Table 2 single-node boxes report
+// idle watts and Figure 6 response-time/energy coordinates), the missing
+// curve parameters are synthesized to anchor those published points; this
+// is a documented substitution (DESIGN.md §4).
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// Class distinguishes the two node roles of Section 5.
+type Class int
+
+const (
+	// Beefy is a traditional Xeon-class server node.
+	Beefy Class = iota
+	// Wimpy is a low-power mobile-CPU node (the paper's Laptop B).
+	Wimpy
+)
+
+func (c Class) String() string {
+	if c == Wimpy {
+		return "Wimpy"
+	}
+	return "Beefy"
+}
+
+// Spec describes one node type. Rates are in MB/s to match Table 3.
+type Spec struct {
+	Name  string
+	Class Class
+
+	// CPUBandwidth is the node's maximum CPU processing bandwidth in
+	// MB/s of tuple data pushed through the full P-store operator
+	// pipeline (the paper's C_B = 5037, C_W = 1129).
+	CPUBandwidth float64
+
+	// MemoryMB is usable main memory (the paper's M_B / M_W), which
+	// gates whether a node can build an in-memory hash table (the
+	// H predicate of Table 3).
+	MemoryMB float64
+
+	// DiskMBps is sequential scan bandwidth (the paper's I).
+	DiskMBps float64
+
+	// NetMBps is NIC bandwidth per direction (the paper's L).
+	NetMBps float64
+
+	// UtilFloor is the engine's inherent CPU utilization constant
+	// (the paper's G_B = 0.25, G_W = 0.13): the utilization P-store
+	// induces even when fully stalled on I/O.
+	UtilFloor float64
+
+	// Power maps CPU utilization to full-system watts.
+	Power power.Model
+
+	// IdleWatts as reported in Table 2 (informational; the model's
+	// f(UtilFloor) is what simulations draw when idle under P-store).
+	IdleWatts float64
+
+	// SleepWatts is the node's power while suspended (S3-like). Zero
+	// means "default": 10% of the engine-idle power f(UtilFloor).
+	SleepWatts float64
+	// WakeSeconds is the suspend->ready transition time (during which
+	// the node burns idle power but cannot run work). Zero means the
+	// 30 s default — the paper notes on/off switching has "direct costs
+	// such as increased query latency" (§2).
+	WakeSeconds float64
+
+	// Cores/Threads as reported in Tables 1-2 (informational).
+	Cores, Threads int
+}
+
+// Validate checks that a spec is physically sensible.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("hw: spec missing name")
+	case s.CPUBandwidth <= 0:
+		return fmt.Errorf("hw: %s: CPUBandwidth must be positive", s.Name)
+	case s.MemoryMB <= 0:
+		return fmt.Errorf("hw: %s: MemoryMB must be positive", s.Name)
+	case s.DiskMBps <= 0:
+		return fmt.Errorf("hw: %s: DiskMBps must be positive", s.Name)
+	case s.NetMBps <= 0:
+		return fmt.Errorf("hw: %s: NetMBps must be positive", s.Name)
+	case s.UtilFloor < 0 || s.UtilFloor > 1:
+		return fmt.Errorf("hw: %s: UtilFloor out of [0,1]", s.Name)
+	case s.Power == nil:
+		return fmt.Errorf("hw: %s: missing power model", s.Name)
+	}
+	return nil
+}
+
+// IdleModelWatts returns the power the simulation charges when the node
+// is idle under the engine: f(UtilFloor).
+func (s Spec) IdleModelWatts() float64 { return s.Power.Watts(s.UtilFloor) }
+
+// SleepModelWatts returns the suspended power draw (SleepWatts, or the
+// 10%-of-idle default).
+func (s Spec) SleepModelWatts() float64 {
+	if s.SleepWatts > 0 {
+		return s.SleepWatts
+	}
+	return 0.1 * s.IdleModelWatts()
+}
+
+// WakeDelay returns the suspend->ready transition time (default 30 s).
+func (s Spec) WakeDelay() float64 {
+	if s.WakeSeconds > 0 {
+		return s.WakeSeconds
+	}
+	return 30
+}
+
+// PeakWatts returns f(1).
+func (s Spec) PeakWatts() float64 { return s.Power.Watts(1) }
+
+// ---------------------------------------------------------------------------
+// Cluster-V (Table 1): 16× HP ProLiant DL360G6, dual Intel X5550, 48 GB RAM,
+// 8×300 GB disks, 1 Gb/s network. SysPower = 130.03*C^0.2369 fitted from
+// iLO2 readings. CPU bandwidth C_B=5037 MB/s and G_B=0.25 from Table 3.
+// Disk I=1200 MB/s and L=100 MB/s are the Section 5.4 model settings for
+// these nodes (four Crucial C300 SSDs, 1 Gbps NIC).
+
+// ClusterV returns the Table 1 server node spec.
+func ClusterV() Spec {
+	return Spec{
+		Name:         "cluster-V DL360G6 (2x X5550)",
+		Class:        Beefy,
+		CPUBandwidth: 5037,
+		MemoryMB:     47000, // §5.4: M_B = 47000
+		DiskMBps:     1200,  // §5.4: I = 1200
+		NetMBps:      100,   // §5.4: L = 100 (1 Gbps)
+		UtilFloor:    0.25,
+		Power:        power.PowerLaw{A: 130.03, B: 0.2369},
+		IdleWatts:    130.03, // f(0.01)≈130 at 1% util; Table 1 gives the curve only
+		Cores:        8, Threads: 16,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.2 Beefy: HP SE326M1R2, dual quad-core Xeon L5630, 32 GB RAM,
+// Crucial C300 SSD, avg node power 154 W during experiments.
+// §5.3.1: f_B = 79.006*(100u)^0.2451, C_B = 4034, M_B = 31000, I = 270,
+// L = 95.
+
+// BeefyL5630 returns the Section 5.2 Beefy cluster node spec.
+func BeefyL5630() Spec {
+	return Spec{
+		Name:         "Beefy SE326M1R2 (2x L5630)",
+		Class:        Beefy,
+		CPUBandwidth: 4034,
+		MemoryMB:     31000,
+		DiskMBps:     270,
+		NetMBps:      95,
+		UtilFloor:    0.25,
+		Power:        power.PowerLaw{A: 79.006, B: 0.2451},
+		IdleWatts:    69, // Table 2 Workstation B-class Xeon idle; measured avg 154 W under load
+		Cores:        8, Threads: 16,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Laptop B (Tables 2 & 3): i7 620m, 8 GB RAM, Crucial C300 SSD, 11 W idle
+// (screen off), avg 37 W during cluster experiments.
+// Table 3: f_W = 10.994*(100c)^0.2875, C_W = 1129, G_W = 0.13, M_W = 7000.
+
+// LaptopB returns the paper's chosen Wimpy node spec.
+func LaptopB() Spec {
+	return Spec{
+		Name:         "Laptop B (i7 620m)",
+		Class:        Wimpy,
+		CPUBandwidth: 1129,
+		MemoryMB:     7000,
+		DiskMBps:     270, // same C300 SSD as the Beefy nodes (§5.3 uniformity assumption)
+		NetMBps:      95,
+		UtilFloor:    0.13,
+		Power:        power.PowerLaw{A: 10.994, B: 0.2875},
+		IdleWatts:    11,
+		Cores:        2, Threads: 4,
+	}
+}
+
+// WimpyModelNode returns LaptopB with the Section 5.4 model-exploration
+// I/O settings (I=1200, L=100) so heterogeneous designs share the
+// cluster-V I/O subsystem, per the paper's uniformity assumption.
+func WimpyModelNode() Spec {
+	s := LaptopB()
+	s.DiskMBps = 1200
+	s.NetMBps = 100
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 single-node systems for the Figure 6 microbenchmark. The paper
+// reports CPU, RAM and idle watts; the CPU bandwidths and load power
+// curves below are synthesized to anchor each system's published Figure 6
+// coordinates (response time, energy) for the 0.1M × 20M row hash join
+// (2.01 GB of tuples; 4.02 GB of CPU work through the scan+join
+// pipeline at the engine's default JoinWork=1):
+//
+//   system        ~time(s)  ~energy(J)
+//   Workstation A    13       1300      (fastest, high energy)
+//   Workstation B    15       1100
+//   Desktop Atom     48       1650      (slow AND power-hungry for its class)
+//   Laptop A         38        950
+//   Laptop B         25        800      (lowest energy -> chosen Wimpy)
+
+func microbenchSpec(name string, class Class, cpuMBps, memMB, idleW, peakW float64, cores, threads int) Spec {
+	return Spec{
+		Name:         name,
+		Class:        class,
+		CPUBandwidth: cpuMBps,
+		MemoryMB:     memMB,
+		DiskMBps:     270,
+		NetMBps:      95,
+		UtilFloor:    0.13,
+		Power:        power.Linear{Idle: idleW, Peak: peakW},
+		IdleWatts:    idleW,
+		Cores:        cores, Threads: threads,
+	}
+}
+
+// WorkstationA returns the Table 2 i7 920 workstation (12 GB, 93 W idle).
+// Anchored to Figure 6: fastest (~13 s) but ~1300 J.
+func WorkstationA() Spec {
+	return microbenchSpec("Workstation A (i7 920)", Beefy, 309.2, 12000, 93, 100, 4, 8)
+}
+
+// WorkstationB returns the Table 2 Xeon workstation (24 GB, 69 W idle).
+// Anchored to Figure 6: ~15 s, ~1100 J.
+func WorkstationB() Spec {
+	return microbenchSpec("Workstation B (Xeon)", Beefy, 268.0, 24000, 69, 73.33, 4, 4)
+}
+
+// DesktopAtom returns the Table 2 Atom desktop (4 GB, 28 W idle).
+// Anchored to Figure 6: slowest (~48 s) and ~1650 J — worst of both.
+func DesktopAtom() Spec {
+	return microbenchSpec("Desktop (Atom)", Wimpy, 83.75, 4000, 28, 34.38, 2, 4)
+}
+
+// LaptopA returns the Table 2 Core 2 Duo laptop (4 GB, 12 W idle).
+// Anchored to Figure 6: ~38 s, ~950 J.
+func LaptopA() Spec {
+	return microbenchSpec("Laptop A (Core 2 Duo)", Wimpy, 105.8, 4000, 12, 25.0, 2, 2)
+}
+
+// LaptopBMicro returns Laptop B parameterized for the Figure 6 microbench
+// (same physical machine as LaptopB; the microbench hash join is the
+// paper's standalone cache-conscious join, not the P-store pipeline, so
+// its effective MB/s differs from C_W). Anchored to Figure 6: ~25 s and
+// the lowest energy, ~800 J — which is why the paper picks it as the
+// Wimpy node.
+func LaptopBMicro() Spec {
+	return microbenchSpec("Laptop B (i7 620m)", Wimpy, 160.8, 8000, 11, 32.0, 2, 4)
+}
+
+// MicrobenchSystems returns the five Table 2 systems in display order.
+func MicrobenchSystems() []Spec {
+	return []Spec{DesktopAtom(), LaptopA(), LaptopBMicro(), WorkstationA(), WorkstationB()}
+}
+
+func init() {
+	// Fail fast at package load if any catalog entry is malformed.
+	for _, s := range []Spec{ClusterV(), BeefyL5630(), LaptopB(), WimpyModelNode(),
+		WorkstationA(), WorkstationB(), DesktopAtom(), LaptopA(), LaptopBMicro()} {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+	}
+}

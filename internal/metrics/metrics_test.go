@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func samplePoints() []power.Point {
+	return []power.Point{
+		{Label: "16N", Seconds: 100, Joules: 1000},
+		{Label: "8N", Seconds: 156, Joules: 820},
+	}
+}
+
+func TestNewSeriesNormalizes(t *testing.T) {
+	s, err := NewSeries("t", samplePoints(), "16N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].NormPerf != 1 || s.Points[0].NormEnerg != 1 {
+		t.Fatalf("reference point not (1,1): %+v", s.Points[0])
+	}
+	if s.Points[1].NormEnerg != 0.82 {
+		t.Fatalf("8N energy = %v", s.Points[1].NormEnerg)
+	}
+}
+
+func TestNewSeriesMissingRef(t *testing.T) {
+	if _, err := NewSeries("t", samplePoints(), "nope"); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+}
+
+func TestTableMarksEDPPosition(t *testing.T) {
+	s, _ := NewSeries("t", samplePoints(), "16N")
+	tbl := s.Table()
+	if !strings.Contains(tbl, "above") {
+		t.Fatalf("table missing EDP position:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "8N") || !strings.Contains(tbl, "16N") {
+		t.Fatalf("table missing labels:\n%s", tbl)
+	}
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	s, _ := NewSeries("t", samplePoints(), "16N")
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "label,") {
+		t.Fatalf("CSV header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "8N,156,820,") {
+		t.Fatalf("CSV row: %s", lines[2])
+	}
+}
+
+func TestPlotContainsPointsAndLine(t *testing.T) {
+	s, _ := NewSeries("t", samplePoints(), "16N")
+	plot := s.Plot(40, 10)
+	if !strings.Contains(plot, "o") {
+		t.Fatal("plot has no data points")
+	}
+	if !strings.Contains(plot, ".") {
+		t.Fatal("plot has no EDP line")
+	}
+	if strings.Count(plot, "\n") < 10 {
+		t.Fatal("plot too short")
+	}
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	s, _ := NewSeries("t", samplePoints(), "16N")
+	plot := s.Plot(1, 1) // clamped up
+	if len(plot) == 0 {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestComparison(t *testing.T) {
+	out := Comparison("Fig X", []Pair{
+		{Metric: "8N perf", Paper: 0.64, Measured: 0.66},
+		{Metric: "zero", Paper: 0, Measured: 0},
+	})
+	if !strings.Contains(out, "8N perf") || !strings.Contains(out, "3.0%") {
+		t.Fatalf("comparison output wrong:\n%s", out)
+	}
+}
+
+func TestSortByPerf(t *testing.T) {
+	pts := []power.Point{{NormPerf: 0.5}, {NormPerf: 1.0}, {NormPerf: 0.75}}
+	SortByPerf(pts)
+	if pts[0].NormPerf != 1.0 || pts[2].NormPerf != 0.5 {
+		t.Fatalf("sort order wrong: %+v", pts)
+	}
+}

@@ -1,0 +1,67 @@
+package model
+
+// DVFS ablation. The paper's introduction anticipates hardware that can
+// "dynamically control their power/performance trade-offs"; this file
+// adds a frequency-scaling knob to the analytical model so that design
+// space can be explored alongside cluster sizing and Beefy/Wimpy mixes.
+//
+// Scaling model: at frequency fraction s (0 < s <= 1),
+//
+//   - CPU bandwidth scales linearly: C' = s*C (tuple processing is
+//     frequency-bound in the in-memory regime);
+//   - power at a given utilization splits into a static share (leakage,
+//     fans, disks, PSU — unaffected by DVFS) and a dynamic share scaling
+//     with s³ (the classical f·V² law with voltage tracking frequency):
+//     f'(u) = f(u) * (static + (1-static)*s³).
+//
+// The interesting prediction, verified by tests and the ablation bench:
+// for NETWORK-bound joins, downclocking is nearly free — performance is
+// set by the wire, the CPU has slack, and only the dynamic power drops —
+// so EDP strictly improves. For SCAN/CPU-bound joins the slowdown is
+// proportional and EDP gets worse.
+
+// WithFrequency returns a copy of p running all CPUs at fraction s of
+// nominal frequency. staticShare is the frequency-independent fraction
+// of system power (0.5 is a reasonable server split; must be in [0,1]).
+func (p Params) WithFrequency(s, staticShare float64) Params {
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	if staticShare < 0 {
+		staticShare = 0
+	}
+	if staticShare > 1 {
+		staticShare = 1
+	}
+	scale := staticShare + (1-staticShare)*s*s*s
+	q := p
+	q.CB = p.CB * s
+	if p.CW > 0 {
+		q.CW = p.CW * s
+	}
+	fb := p.FB
+	q.FB = func(u float64) float64 { return fb(u) * scale }
+	if p.FW != nil {
+		fw := p.FW
+		q.FW = func(u float64) float64 { return fw(u) * scale }
+	}
+	return q
+}
+
+// FrequencySweep evaluates the hash join at each frequency fraction and
+// returns design points labelled by frequency, normalized against full
+// frequency.
+func FrequencySweep(base Params, staticShare float64, fracs []float64) []DesignPoint {
+	ref, refErr := base.HashJoin()
+	var out []DesignPoint
+	for _, s := range fracs {
+		res, err := base.WithFrequency(s, staticShare).HashJoin()
+		dp := DesignPoint{NB: base.NB, NW: base.NW, Res: res, Err: err}
+		if err == nil && refErr == nil && res.Seconds() > 0 && ref.Joules() > 0 {
+			dp.NormPerf = ref.Seconds() / res.Seconds()
+			dp.NormEng = res.Joules() / ref.Joules()
+		}
+		out = append(out, dp)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithFrequencyScalesCPUAndPower(t *testing.T) {
+	p := section54Params()
+	p.Sbld, p.Sprb = 0.10, 0.10
+	q := p.WithFrequency(0.5, 0.5)
+	if q.CB != p.CB*0.5 || q.CW != p.CW*0.5 {
+		t.Fatalf("CPU bandwidths not scaled: %v/%v", q.CB, q.CW)
+	}
+	// scale = 0.5 + 0.5*0.125 = 0.5625.
+	want := p.FB(0.8) * 0.5625
+	if math.Abs(q.FB(0.8)-want) > 1e-9 {
+		t.Fatalf("power scale wrong: %v, want %v", q.FB(0.8), want)
+	}
+}
+
+func TestWithFrequencyClampsInputs(t *testing.T) {
+	p := section54Params()
+	q := p.WithFrequency(0, 2) // invalid: treated as s=1, static=1
+	if q.CB != p.CB {
+		t.Fatal("invalid frequency not clamped to 1")
+	}
+	if q.FB(0.5) != p.FB(0.5) {
+		t.Fatal("static share not clamped")
+	}
+}
+
+func TestDVFSFreeLunchWhenNetworkBound(t *testing.T) {
+	// O 10% / L 10% warm: the shuffle is wire-limited, CPUs have slack.
+	// Downclocking to 60% must cost (almost) no performance and save
+	// energy => EDP improves.
+	p := section54Params()
+	p.Sbld, p.Sprb = 0.10, 0.10
+	p.WarmCache = true
+	pts := FrequencySweep(p, 0.5, []float64{1.0, 0.6})
+	full, down := pts[0], pts[1]
+	if full.Err != nil || down.Err != nil {
+		t.Fatal(full.Err, down.Err)
+	}
+	if down.NormPerf < 0.99 {
+		t.Fatalf("network-bound downclock lost %.1f%% performance, want ~0",
+			(1-down.NormPerf)*100)
+	}
+	if down.NormEng >= 0.95 {
+		t.Fatalf("network-bound downclock energy %.3f, want meaningful savings", down.NormEng)
+	}
+}
+
+func TestDVFSCostlyWhenScanBound(t *testing.T) {
+	// O 1% / L 1% warm: CPU-bound scans. Halving frequency roughly halves
+	// performance; energy savings are much smaller than the loss => EDP
+	// degrades.
+	p := section54Params()
+	p.Sbld, p.Sprb = 0.01, 0.01
+	p.WarmCache = true
+	pts := FrequencySweep(p, 0.5, []float64{1.0, 0.5})
+	down := pts[1]
+	if down.Err != nil {
+		t.Fatal(down.Err)
+	}
+	if down.NormPerf > 0.6 {
+		t.Fatalf("CPU-bound downclock perf %.3f, want ~0.5", down.NormPerf)
+	}
+	if down.NormEng/down.NormPerf <= 1.0 {
+		t.Fatalf("CPU-bound downclock improved EDP (%.3f); it should not", down.NormEng/down.NormPerf)
+	}
+}
+
+func TestFrequencySweepMonotonePerformance(t *testing.T) {
+	p := section54Params()
+	p.Sbld, p.Sprb = 0.01, 0.01
+	p.WarmCache = true
+	pts := FrequencySweep(p, 0.5, []float64{1.0, 0.8, 0.6, 0.4})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NormPerf > pts[i-1].NormPerf+1e-9 {
+			t.Fatalf("performance not monotone in frequency: %+v", pts)
+		}
+	}
+}

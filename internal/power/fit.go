@@ -1,0 +1,196 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one meter reading: CPU utilization (0..1) and measured watts.
+type Sample struct {
+	Util  float64
+	Watts float64
+}
+
+// Fit holds a fitted model plus its goodness of fit.
+type Fit struct {
+	Model Model
+	R2    float64
+}
+
+var errDegenerate = errors.New("power: need >= 2 samples with distinct utilizations")
+
+// linreg computes ordinary least squares y = a + b*x and returns a, b and
+// the coefficient of determination R² in the transformed space.
+func linreg(xs, ys []float64) (a, b, r2 float64, err error) {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0, 0, 0, errDegenerate
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, errDegenerate
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	if ssTot <= 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2, nil
+}
+
+// r2Of computes R² of model m against raw samples (in watt space, not the
+// transformed regression space), which is what model selection compares.
+func r2Of(m Model, samples []Sample) float64 {
+	var sy, syy float64
+	for _, s := range samples {
+		sy += s.Watts
+		syy += s.Watts * s.Watts
+	}
+	n := float64(len(samples))
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for _, s := range samples {
+		d := s.Watts - m.Watts(s.Util)
+		ssRes += d * d
+	}
+	if ssTot <= 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitPowerLaw fits Watts = A*(100u)^B by linear regression in log-log
+// space. Samples at u<=0 or watts<=0 are skipped.
+func FitPowerLaw(samples []Sample) (Fit, error) {
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.Util <= 0 || s.Watts <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(100*s.Util))
+		ys = append(ys, math.Log(s.Watts))
+	}
+	a, b, _, err := linreg(xs, ys)
+	if err != nil {
+		return Fit{}, err
+	}
+	m := PowerLaw{A: math.Exp(a), B: b}
+	return Fit{Model: m, R2: r2Of(m, samples)}, nil
+}
+
+// FitExponential fits Watts = A*e^(B*u) by regression in semi-log space.
+func FitExponential(samples []Sample) (Fit, error) {
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.Watts <= 0 {
+			continue
+		}
+		xs = append(xs, clamp01(s.Util))
+		ys = append(ys, math.Log(s.Watts))
+	}
+	a, b, _, err := linreg(xs, ys)
+	if err != nil {
+		return Fit{}, err
+	}
+	m := Exponential{A: math.Exp(a), B: b}
+	return Fit{Model: m, R2: r2Of(m, samples)}, nil
+}
+
+// FitLogarithmic fits Watts = A + B*ln(100u+1).
+func FitLogarithmic(samples []Sample) (Fit, error) {
+	var xs, ys []float64
+	for _, s := range samples {
+		xs = append(xs, math.Log(100*clamp01(s.Util)+1))
+		ys = append(ys, s.Watts)
+	}
+	a, b, _, err := linreg(xs, ys)
+	if err != nil {
+		return Fit{}, err
+	}
+	m := Logarithmic{A: a, B: b}
+	return Fit{Model: m, R2: r2Of(m, samples)}, nil
+}
+
+// FitLinear fits Watts = Idle + (Peak-Idle)*u.
+func FitLinear(samples []Sample) (Fit, error) {
+	var xs, ys []float64
+	for _, s := range samples {
+		xs = append(xs, clamp01(s.Util))
+		ys = append(ys, s.Watts)
+	}
+	a, b, _, err := linreg(xs, ys)
+	if err != nil {
+		return Fit{}, err
+	}
+	m := Linear{Idle: a, Peak: a + b}
+	return Fit{Model: m, R2: r2Of(m, samples)}, nil
+}
+
+// FitBest fits all candidate forms and returns the one with the highest
+// R² in watt space — the paper's model-selection procedure ("we explored
+// exponential, power, and logarithmic regression models, and picked the
+// one with the best R² value").
+func FitBest(samples []Sample) (Fit, error) {
+	if len(samples) < 2 {
+		return Fit{}, errDegenerate
+	}
+	fitters := []func([]Sample) (Fit, error){
+		FitPowerLaw, FitExponential, FitLogarithmic, FitLinear,
+	}
+	best := Fit{R2: math.Inf(-1)}
+	var lastErr error
+	for _, f := range fitters {
+		fit, err := f(samples)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if fit.R2 > best.R2 {
+			best = fit
+		}
+	}
+	if math.IsInf(best.R2, -1) {
+		if lastErr == nil {
+			lastErr = errDegenerate
+		}
+		return Fit{}, lastErr
+	}
+	return best, nil
+}
+
+// CalibrationRun mimics the paper's calibration procedure: drive a node at
+// several utilization levels with a load generator, read the meter at each
+// level (iLO2 averaged over three 5-minute windows), and fit. The measure
+// callback returns the average watts observed at the requested utilization.
+func CalibrationRun(levels []float64, measure func(util float64) float64) []Sample {
+	out := make([]Sample, 0, len(levels))
+	sorted := append([]float64(nil), levels...)
+	sort.Float64s(sorted)
+	for _, u := range sorted {
+		out = append(out, Sample{Util: u, Watts: measure(u)})
+	}
+	return out
+}
+
+// Describe formats a fit for reports.
+func (f Fit) Describe() string {
+	return fmt.Sprintf("%s (R²=%.4f)", f.Model, f.R2)
+}

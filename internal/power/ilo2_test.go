@@ -1,0 +1,85 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestILO2WindowAverages(t *testing.T) {
+	// Hold a node at 50% utilization for three 5-minute windows; every
+	// window must report the same average watts, equal to f(0.5).
+	eng := sim.New()
+	cpu := sim.NewServer(eng, "cpu", 100)
+	m := NewILO2Meter(eng, cpu, Linear{Idle: 100, Peak: 200}, 0)
+	eng.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 900; i++ { // 15 minutes at 50% duty
+			cpu.Process(p, 50) // 0.5 s busy
+			p.Hold(0.5)
+		}
+	})
+	eng.Run()
+	m.Stop()
+	reports := m.Reports()
+	if len(reports) != 3 {
+		t.Fatalf("%d windows, want 3", len(reports))
+	}
+	for i, w := range reports {
+		if math.Abs(w-150) > 1e-6 {
+			t.Fatalf("window %d = %v W, want 150", i, w)
+		}
+	}
+	if avg := m.AverageOfWindows(3); math.Abs(avg-150) > 1e-6 {
+		t.Fatalf("3-window average = %v", avg)
+	}
+}
+
+func TestILO2PartialWindowNotReported(t *testing.T) {
+	eng := sim.New()
+	cpu := sim.NewServer(eng, "cpu", 100)
+	m := NewILO2Meter(eng, cpu, Constant{W: 42}, 0)
+	eng.Go("idle", func(p *sim.Proc) { p.Hold(299) })
+	eng.Run()
+	if got := m.Reports(); len(got) != 0 {
+		t.Fatalf("incomplete window reported: %v", got)
+	}
+	if m.AverageOfWindows(3) != 0 {
+		t.Fatal("average of zero windows non-zero")
+	}
+}
+
+func TestILO2CalibrationRecoversPaperModel(t *testing.T) {
+	// The full Section 3.1 loop: for each utilization level, run three
+	// 5-minute iLO2 windows under a synthetic load generator, average
+	// them, and fit — recovering the cluster-V power law.
+	truth := PowerLaw{A: 130.03, B: 0.2369}
+	levels := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+	samples := CalibrationRun(levels, func(u float64) float64 {
+		eng := sim.New()
+		cpu := sim.NewServer(eng, "cpu", 100)
+		m := NewILO2Meter(eng, cpu, truth, 0)
+		eng.Go("gen", func(p *sim.Proc) {
+			for i := 0; i < 900; i++ {
+				cpu.Process(p, u*100)
+				if u < 1 {
+					p.Hold(1 - u)
+				}
+			}
+		})
+		eng.Run()
+		m.Stop()
+		return m.AverageOfWindows(3)
+	})
+	fit, err := FitBest(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, ok := fit.Model.(PowerLaw)
+	if !ok {
+		t.Fatalf("fit chose %T", fit.Model)
+	}
+	if math.Abs(pl.A-truth.A)/truth.A > 0.01 || math.Abs(pl.B-truth.B) > 0.01 {
+		t.Fatalf("recovered %v, want %v", fit.Describe(), truth)
+	}
+}

@@ -1,0 +1,95 @@
+package pstore
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// AggSpec describes a scan-filter-aggregate query (the TPC-H Q1 shape:
+// no join, no repartitioning — only a tiny partial-aggregate transfer to
+// a coordinator). It is the paper's exemplar of a perfectly partitionable
+// workload with ideal speedup (Figure 2(a)).
+type AggSpec struct {
+	Table storage.TableDef
+	Sel   float64
+	// AggWork is extra CPU bytes charged per qualified byte for the
+	// aggregation itself (default 1.0).
+	AggWork float64
+	// Coordinator is the node receiving partial aggregates (default 0).
+	Coordinator int
+}
+
+// AggResult reports one executed aggregation query.
+type AggResult struct {
+	Seconds       float64
+	QualifiedRows int64
+	// Sum is a real aggregate (sum of the key column) for materialized
+	// runs, verified against a serial reference.
+	Sum uint64
+}
+
+// RunAggregate executes the aggregation query on the cluster and returns
+// the result plus total cluster energy.
+func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, float64, error) {
+	e := New(c, cfg)
+	if spec.AggWork == 0 {
+		spec.AggWork = 1.0
+	}
+	n := len(c.Nodes)
+	parts, err := storage.PartitionTable(spec.Table, n, e.cfg.BatchRows)
+	if err != nil {
+		return AggResult{}, 0, err
+	}
+
+	var res AggResult
+	mb := cluster.NewMailbox("agg.final", n, e.cfg.MailboxCap)
+	done := &sim.Event{}
+
+	for nd := 0; nd < n; nd++ {
+		nd := nd
+		node := c.Nodes[nd]
+		part := parts[nd]
+		c.Eng.Go(fmt.Sprintf("agg.scan.%d", nd), func(p *sim.Proc) {
+			var rows int64
+			var sum uint64
+			e.scanFilter(p, node, part, spec.Sel, func(p *sim.Proc, out storage.Batch) {
+				node.CPU.Process(p, out.Bytes()*spec.AggWork)
+				rows += int64(out.Rows)
+				if !out.Phantom() {
+					keys := out.Cols[storage.ColKey]
+					for i := 0; i < out.Rows; i++ {
+						sum += uint64(keys.Int64(i))
+					}
+				}
+			})
+			// Ship the partial aggregate: one tiny tuple (32 bytes).
+			agg := storage.Batch{Rows: 1, Width: 32,
+				Cols: []storage.Column{storage.Int64Column{int64(rows)}, storage.Int64Column{int64(sum)}}}
+			c.Send(p, cluster.Message{From: nd, To: spec.Coordinator, Batch: agg, Dest: mb})
+			c.Send(p, cluster.Message{From: nd, To: spec.Coordinator, EOS: true, Dest: mb})
+		})
+	}
+
+	c.Eng.Go("agg.coord", func(p *sim.Proc) {
+		for {
+			b, ok := mb.Recv(p)
+			if !ok {
+				break
+			}
+			res.QualifiedRows += b.Cols[0].Int64(0)
+			res.Sum += uint64(b.Cols[1].Int64(0))
+		}
+		res.Seconds = p.Now()
+		done.Fire()
+	})
+
+	c.Eng.Run()
+	if !done.Fired() {
+		return AggResult{}, 0, fmt.Errorf("pstore: aggregate did not complete")
+	}
+	c.StopMeters()
+	return res, c.TotalJoules(), nil
+}

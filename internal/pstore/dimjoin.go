@@ -1,0 +1,181 @@
+package pstore
+
+// Dimension semijoins: the Q21-style plan shape of Section 3.1, where
+// small tables (SUPPLIER, NATION) are replicated on every node and joined
+// locally, so only the big LINEITEM⋈ORDERS join needs the network. Each
+// DimJoin filters probe tuples against a selective replicated dimension
+// before they enter the exchange, exactly like Vertica's local joins with
+// replicated tables: extra node-local CPU, zero extra network.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// DimJoin is one replicated-dimension semijoin applied to the probe side.
+type DimJoin struct {
+	// Dim is the replicated dimension table (e.g. SUPPLIER).
+	Dim storage.TableDef
+	// Sel is the predicate selectivity on the dimension.
+	Sel float64
+	// KeyCol is the probe-batch column carrying the dimension foreign key
+	// (storage.LineitemColSupp for the LINEITEM->SUPPLIER edge).
+	KeyCol int
+	// Work is extra CPU bytes charged per probe byte evaluated (default 1).
+	Work float64
+}
+
+func (d DimJoin) work() float64 {
+	if d.Work == 0 {
+		return 1.0
+	}
+	return d.Work
+}
+
+// Validate checks the dimension spec.
+func (d DimJoin) Validate() error {
+	if d.Sel <= 0 || d.Sel > 1 {
+		return fmt.Errorf("pstore: dimension selectivity %v out of (0,1]", d.Sel)
+	}
+	if d.Dim.Placement != storage.Replicated {
+		return fmt.Errorf("pstore: dimension %s must be replicated", d.Dim.Table)
+	}
+	if d.KeyCol < 0 {
+		return fmt.Errorf("pstore: negative dimension key column")
+	}
+	return nil
+}
+
+// dimFilter is the runtime form: a qualifying-key set (materialized runs)
+// plus the selectivity for phantom accounting.
+type dimFilter struct {
+	spec    DimJoin
+	qualify map[int64]bool // nil for phantom runs
+	frac    float64        // fractional-row accumulator (phantom)
+}
+
+// buildDimFilters constructs the per-query dimension filters and charges
+// each scanning node's CPU for hashing its replicated dimension copy
+// (local work, no exchange).
+func (e *Exec) buildDimFilters(dims []DimJoin, materialized bool) ([]*dimFilter, float64, error) {
+	var filters []*dimFilter
+	var buildBytes float64
+	for _, d := range dims {
+		if err := d.Validate(); err != nil {
+			return nil, 0, err
+		}
+		f := &dimFilter{spec: d}
+		if materialized {
+			f.qualify = make(map[int64]bool)
+			thr := tpch.SelThreshold(d.Sel)
+			n := d.Dim.TotalRows()
+			for i := int64(0); i < n; i++ {
+				key, sel := refRow(d.Dim, i)
+				if sel < thr {
+					f.qualify[key] = true
+				}
+			}
+		}
+		filters = append(filters, f)
+		buildBytes += d.Dim.TotalBytes()
+	}
+	return filters, buildBytes, nil
+}
+
+// apply filters a probe batch through every dimension semijoin, charging
+// the node's CPU for the evaluation work, and returns the surviving rows.
+func applyDimFilters(p *sim.Proc, cpu *sim.Server, filters []*dimFilter, b storage.Batch) storage.Batch {
+	for _, f := range filters {
+		if b.Rows == 0 {
+			return b
+		}
+		cpu.Process(p, b.Bytes()*f.spec.work())
+		if b.Phantom() {
+			f.frac += float64(b.Rows) * f.spec.Sel
+			take := int(f.frac)
+			f.frac -= float64(take)
+			b = storage.Batch{Rows: take, Width: b.Width}
+			continue
+		}
+		col := b.Cols[f.spec.KeyCol]
+		var idx []int
+		for i := 0; i < b.Rows; i++ {
+			if f.qualify[col.Int64(i)] {
+				idx = append(idx, i)
+			}
+		}
+		b = storage.FilterBatch(b, idx)
+	}
+	return b
+}
+
+// SupplierDim returns the standard Q21-style SUPPLIER dimension semijoin
+// at the given selectivity (replicated, 16-byte projection).
+func SupplierDim(sf tpch.ScaleFactor, sel float64, materialize bool) DimJoin {
+	return DimJoin{
+		Dim: storage.TableDef{
+			Table: tpch.Supplier, SF: sf, Width: 16,
+			Placement: storage.Replicated, Materialize: materialize,
+		},
+		Sel:    sel,
+		KeyCol: storage.LineitemColSupp,
+	}
+}
+
+// ReferenceJoinWithDims extends ReferenceJoin with dimension semijoins on
+// the probe side (the verification oracle for Q21-style plans).
+func ReferenceJoinWithDims(build, probe storage.TableDef, buildSel, probeSel float64, dims []DimJoin) (rows int64, checksum uint64) {
+	bThr := tpch.SelThreshold(buildSel)
+	pThr := tpch.SelThreshold(probeSel)
+
+	qual := make([]map[int64]bool, len(dims))
+	for di, d := range dims {
+		qual[di] = make(map[int64]bool)
+		thr := tpch.SelThreshold(d.Sel)
+		n := d.Dim.TotalRows()
+		for i := int64(0); i < n; i++ {
+			key, sel := refRow(d.Dim, i)
+			if sel < thr {
+				qual[di][key] = true
+			}
+		}
+	}
+
+	counts := make(map[int64]int64)
+	nB := build.TotalRows()
+	for i := int64(0); i < nB; i++ {
+		key, sel := refRow(build, i)
+		if sel < bThr {
+			counts[key]++
+		}
+	}
+	nP := probe.TotalRows()
+	for i := int64(0); i < nP; i++ {
+		li := tpch.GenLineitem(probe.SF, i)
+		if probe.SkewTheta > 0 {
+			li = tpch.GenLineitemSkewed(probe.SF, i, probe.SkewTheta)
+		}
+		if li.SelCol >= pThr {
+			continue
+		}
+		pass := true
+		for di := range dims {
+			// Only the SUPPLIER edge is wired for reference checking.
+			if !qual[di][li.SuppKey] {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		if c := counts[li.OrderKey]; c > 0 {
+			rows += c
+			checksum += uint64(li.OrderKey) * uint64(c)
+		}
+	}
+	return rows, checksum
+}

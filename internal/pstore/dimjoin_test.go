@@ -1,0 +1,142 @@
+package pstore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func supplierDim(sel float64, mat bool) DimJoin {
+	return SupplierDim(testSF, sel, mat)
+}
+
+func TestDimJoinValidate(t *testing.T) {
+	d := supplierDim(0.5, false)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := d
+	bad.Sel = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero selectivity accepted")
+	}
+	bad = d
+	bad.Dim.Placement = storage.HashSegmented
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-replicated dimension accepted")
+	}
+}
+
+func TestDimJoinMatchesReference(t *testing.T) {
+	// Q21-style plan: LINEITEM ⋈ ORDERS dual shuffle plus a replicated
+	// SUPPLIER semijoin at 40% selectivity, verified against the serial
+	// oracle.
+	build, probe := smallDefs(true)
+	dims := []DimJoin{supplierDim(0.4, true)}
+	wantRows, wantSum := ReferenceJoinWithDims(build, probe, 0.10, 0.25, dims)
+	if wantRows == 0 {
+		t.Fatal("degenerate reference")
+	}
+	plain, _ := ReferenceJoin(build, probe, 0.10, 0.25)
+	if wantRows >= plain {
+		t.Fatalf("dimension semijoin did not filter: %d vs %d", wantRows, plain)
+	}
+	for _, n := range []int{1, 3} {
+		c := newCluster(t, n)
+		res, _, err := RunJoin(c, cfgSmall(), JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.25,
+			Method: DualShuffle, Dims: dims,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OutputRows != wantRows || res.Checksum != wantSum {
+			t.Fatalf("n=%d: got (%d,%d), want (%d,%d)", n, res.OutputRows, res.Checksum, wantRows, wantSum)
+		}
+	}
+}
+
+func TestDimJoinPhantomCardinality(t *testing.T) {
+	// Phantom accounting: output scales by the dimension selectivity.
+	build, probe := smallDefs(false)
+	build.SF, probe.SF = 5, 5
+	cfg := Config{WarmCache: true, BatchRows: 100_000}
+	run := func(dims []DimJoin) int64 {
+		c := newCluster(t, 4)
+		res, _, err := RunJoin(c, cfg, JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.20,
+			Method: DualShuffle, Dims: dims,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OutputRows
+	}
+	base := run(nil)
+	filtered := run([]DimJoin{supplierDim(0.5, false)})
+	ratio := float64(filtered) / float64(base)
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Fatalf("dimension cut output to %.3f of base, want ~0.5", ratio)
+	}
+}
+
+func TestDimJoinReducesNetworkTraffic(t *testing.T) {
+	// The Q21 lesson: local dimension semijoins shrink what crosses the
+	// wire, so a selective dimension makes the shuffle-bound query FASTER
+	// despite extra CPU work.
+	build, probe := smallDefs(false)
+	build.SF, probe.SF = 10, 10
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	run := func(dims []DimJoin) float64 {
+		c := newCluster(t, 8)
+		res, _, err := RunJoin(c, cfg, JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.05, ProbeSel: 0.5,
+			Method: DualShuffle, Dims: dims,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	base := run(nil)
+	withDim := run([]DimJoin{supplierDim(0.1, false)})
+	if withDim >= base {
+		t.Fatalf("selective dimension did not speed up shuffle-bound join: %.3f vs %.3f", withDim, base)
+	}
+}
+
+func TestDimJoinChainsMultiplicatively(t *testing.T) {
+	build, probe := smallDefs(false)
+	build.SF, probe.SF = 5, 5
+	cfg := Config{WarmCache: true, BatchRows: 100_000}
+	c := newCluster(t, 2)
+	res, _, err := RunJoin(c, cfg, JoinSpec{
+		Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.40,
+		Method: DualShuffle,
+		Dims:   []DimJoin{supplierDim(0.5, false), supplierDim(0.5, false)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// qualified probe = 0.4*0.5*0.5 of lineitems; matches at 10%.
+	want := float64(tpch.ScaleFactor(5).Lineitems()) * 0.4 * 0.25 * 0.10
+	got := float64(res.OutputRows)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("chained dims output %v, want ~%v", got, want)
+	}
+}
+
+func TestDimJoinRejectedByValidate(t *testing.T) {
+	build, probe := smallDefs(false)
+	c := newCluster(t, 2)
+	e := New(c, cfgSmall())
+	bad := supplierDim(0.5, false)
+	bad.Dim.Placement = storage.HashSegmented
+	_, err := e.LaunchJoin("q", JoinSpec{Build: build, Probe: probe,
+		BuildSel: 0.1, ProbeSel: 0.1, Method: DualShuffle, Dims: []DimJoin{bad}})
+	if err == nil {
+		t.Fatal("invalid dimension accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package pstore
+
+import (
+	"testing"
+)
+
+// TestElasticScaleDownStairStep: running 8-home-partition data on 6
+// online nodes (chained replica adoption, no repartitioning) leaves two
+// nodes with double load; the scan-bound phase is set by the stragglers,
+// so the elastic cluster is slower than a natively repartitioned 6-node
+// cluster.
+func TestElasticScaleDownStairStep(t *testing.T) {
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	run := func(n, homes int) float64 {
+		build, probe := smallDefs(false)
+		build.SF, probe.SF = 10, 10
+		build.HomeNodes, probe.HomeNodes = homes, homes
+		c := newCluster(t, n)
+		// Scan-bound regime (selective predicates) so per-node data volume
+		// drives the phase time.
+		res, _, err := RunJoin(c, cfg, JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.02, ProbeSel: 0.02, Method: DualShuffle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	native6 := run(6, 0)
+	elastic6 := run(6, 8)
+	if elastic6 <= native6*1.15 {
+		t.Fatalf("elastic 6-of-8 (%.3f s) not meaningfully slower than native 6 (%.3f s); straggler effect missing",
+			elastic6, native6)
+	}
+	// At a divisible size the two layouts match.
+	native4 := run(4, 0)
+	elastic4 := run(4, 8)
+	if rel := (elastic4 - native4) / native4; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("elastic 4-of-8 (%.3f s) != native 4 (%.3f s); balanced adoption should match",
+			elastic4, native4)
+	}
+}
+
+// TestElasticPrepartitionedStillCorrect: chained adoption preserves
+// co-location, so partition-compatible local joins remain complete.
+func TestElasticPrepartitionedStillCorrect(t *testing.T) {
+	build, probe := smallDefs(true)
+	build.SegmentColumn = "O_ORDERKEY"
+	probe.SegmentColumn = "L_ORDERKEY"
+	build.HomeNodes, probe.HomeNodes = 8, 8
+	wantRows, wantSum := ReferenceJoin(build, probe, 0.10, 0.10)
+	for _, n := range []int{3, 5, 8} {
+		c := newCluster(t, n)
+		res, _, err := RunJoin(c, cfgSmall(), JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.10, Method: Prepartitioned,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OutputRows != wantRows || res.Checksum != wantSum {
+			t.Fatalf("n=%d: (%d,%d) != (%d,%d)", n, res.OutputRows, res.Checksum, wantRows, wantSum)
+		}
+	}
+}
+
+// TestElasticDualShuffleCorrect: adoption + shuffle still joins exactly.
+func TestElasticDualShuffleCorrect(t *testing.T) {
+	build, probe := smallDefs(true)
+	build.HomeNodes, probe.HomeNodes = 4, 4
+	wantRows, wantSum := ReferenceJoin(build, probe, 0.10, 0.10)
+	c := newCluster(t, 3)
+	res, _, err := RunJoin(c, cfgSmall(), JoinSpec{
+		Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.10, Method: DualShuffle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputRows != wantRows || res.Checksum != wantSum {
+		t.Fatalf("(%d,%d) != (%d,%d)", res.OutputRows, res.Checksum, wantRows, wantSum)
+	}
+}

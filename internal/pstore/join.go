@@ -1,0 +1,495 @@
+package pstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// hashTable is a per-node build-side multiset (key -> multiplicity).
+// Phantom runs track only row/byte totals.
+type hashTable struct {
+	counts map[int64]int64
+	rows   int64
+	bytes  float64
+}
+
+func (h *hashTable) insertBatch(b storage.Batch) {
+	h.rows += int64(b.Rows)
+	h.bytes += b.Bytes()
+	if b.Phantom() {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int64]int64)
+	}
+	keys := b.Cols[storage.ColKey]
+	for i := 0; i < b.Rows; i++ {
+		h.counts[keys.Int64(i)]++
+	}
+}
+
+// probeBatch returns (matches, checksum-delta) for a probe batch.
+func (h *hashTable) probeBatch(b storage.Batch, matchRate float64, fracAcc *float64) (int64, uint64) {
+	if b.Phantom() {
+		*fracAcc += float64(b.Rows) * matchRate
+		out := int64(*fracAcc)
+		*fracAcc -= float64(out)
+		return out, 0
+	}
+	var matches int64
+	var sum uint64
+	keys := b.Cols[storage.ColKey]
+	for i := 0; i < b.Rows; i++ {
+		k := keys.Int64(i)
+		if c := h.counts[k]; c > 0 {
+			matches += c
+			sum += uint64(k) * uint64(c)
+		}
+	}
+	return matches, sum
+}
+
+// Handle tracks one in-flight join query.
+type Handle struct {
+	ID   string
+	Spec JoinSpec
+
+	Done *sim.Event
+
+	// Filled when Done fires.
+	Result JoinResult
+	Err    error
+
+	startAt    sim.Time
+	buildEndAt sim.Time
+
+	exec       *Exec
+	buildWG    sim.WaitGroup
+	probeWG    sim.WaitGroup
+	tables     map[int]*hashTable
+	outRows    int64
+	checksum   uint64
+	buildRows  int64
+	fracByNode map[int]*float64
+}
+
+// LaunchJoin spawns all processes for one join query on the engine's
+// cluster. The returned handle's Done event fires (in virtual time) when
+// the query completes; multiple concurrent joins may be launched before
+// running the simulation.
+func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
+	if err := spec.Validate(e.C); err != nil {
+		return nil, err
+	}
+	n := len(e.C.Nodes)
+	buildNodes := spec.BuildNodes
+	if len(buildNodes) == 0 {
+		buildNodes = make([]int, n)
+		for i := range buildNodes {
+			buildNodes[i] = i
+		}
+	}
+	if spec.Method == Prepartitioned && len(buildNodes) != n {
+		return nil, fmt.Errorf("pstore: prepartitioned join requires all nodes to build")
+	}
+
+	buildParts, err := storage.PartitionTable(spec.Build, n, e.cfg.BatchRows)
+	if err != nil {
+		return nil, err
+	}
+	probeParts, err := storage.PartitionTable(spec.Probe, n, e.cfg.BatchRows)
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Handle{
+		ID: id, Spec: spec, Done: &sim.Event{}, exec: e,
+		startAt:    e.C.Eng.Now(),
+		tables:     make(map[int]*hashTable, len(buildNodes)),
+		fracByNode: make(map[int]*float64, len(buildNodes)),
+	}
+	for _, b := range buildNodes {
+		h.tables[b] = &hashTable{}
+		var f float64
+		h.fracByNode[b] = &f
+	}
+
+	isBuild := make(map[int]bool, len(buildNodes))
+	for _, b := range buildNodes {
+		isBuild[b] = true
+	}
+
+	// Mailboxes: one build + one probe input per hash-table owner.
+	buildMB := make(map[int]*cluster.Mailbox, len(buildNodes))
+	probeMB := make(map[int]*cluster.Mailbox, len(buildNodes))
+	probeSenders := n
+	if spec.Method == Broadcast || spec.Method == Prepartitioned {
+		// Local probes bypass mailboxes; only non-build scanners ship.
+		probeSenders = n - len(buildNodes) + 1 // +1: owner sends its own EOS
+	}
+	for _, b := range buildNodes {
+		buildMB[b] = cluster.NewMailbox(fmt.Sprintf("%s.build.%d", id, b), n, e.cfg.MailboxCap)
+		probeMB[b] = cluster.NewMailbox(fmt.Sprintf("%s.probe.%d", id, b), probeSenders, e.cfg.MailboxCap)
+	}
+
+	h.buildWG.Add(len(buildNodes))
+	h.probeWG.Add(len(buildNodes))
+
+	// --- Build-side consumers -------------------------------------------
+	for _, b := range buildNodes {
+		b := b
+		node := e.C.Nodes[b]
+		e.C.Eng.Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
+			for {
+				batches, ok := buildMB[b].RecvMany(p, 64)
+				if !ok {
+					break
+				}
+				var bytes float64
+				for _, batch := range batches {
+					bytes += batch.Bytes()
+				}
+				node.CPU.Process(p, bytes*e.cfg.JoinWork)
+				for _, batch := range batches {
+					h.tables[b].insertBatch(batch)
+				}
+			}
+			h.buildWG.Done()
+		})
+	}
+
+	// --- Build-side scanners ---------------------------------------------
+	// Scan+filter and network shipping run as separate pipelined
+	// processes connected by a bounded queue, mirroring P-store's
+	// multi-threaded operators: the scan's CPU work overlaps the
+	// exchange's wire time (§4.2: "maximizing utilization through
+	// multi-threaded concurrency").
+	for nd := 0; nd < n; nd++ {
+		nd := nd
+		node := e.C.Nodes[nd]
+		part := buildParts[nd]
+		e.C.Eng.Go(fmt.Sprintf("%s.buildscan.%d", id, nd), func(p *sim.Proc) {
+			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.bq.%d", id, nd), e.cfg.MailboxCap)
+			e.C.Eng.Go(fmt.Sprintf("%s.buildship.%d", id, nd), func(sp *sim.Proc) {
+				rt := newRouter(buildNodes, nil)
+				for {
+					out, ok := sendQ.Get(sp)
+					if !ok {
+						break
+					}
+					switch spec.Method {
+					case Broadcast:
+						// Every hash-table owner receives a full copy.
+						for _, dst := range buildNodes {
+							e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: out, Dest: buildMB[dst]})
+						}
+					case Prepartitioned:
+						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: buildMB[nd]})
+					default: // DualShuffle
+						routed := rt.route(out)
+						for _, dst := range buildNodes {
+							if sub, ok := routed[dst]; ok {
+								e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: sub, Dest: buildMB[dst]})
+							}
+						}
+					}
+				}
+				for _, dst := range buildNodes {
+					e.C.Send(sp, cluster.Message{From: nd, To: dst, EOS: true, Dest: buildMB[dst]})
+				}
+			})
+			e.scanFilter(p, node, part, spec.BuildSel, func(p *sim.Proc, out storage.Batch) {
+				sendQ.Put(p, out)
+			})
+			sendQ.Close()
+		})
+	}
+
+	// --- Probe-side consumers (hash-table owners) -------------------------
+	matchRate := spec.matchRate()
+	for _, b := range buildNodes {
+		b := b
+		node := e.C.Nodes[b]
+		e.C.Eng.Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
+			for {
+				batches, ok := probeMB[b].RecvMany(p, 64)
+				if !ok {
+					break
+				}
+				var bytes float64
+				for _, batch := range batches {
+					bytes += batch.Bytes()
+				}
+				node.CPU.Process(p, bytes*e.cfg.JoinWork)
+				for _, batch := range batches {
+					rows, sum := h.tables[b].probeBatch(batch, matchRate, h.fracByNode[b])
+					h.outRows += rows
+					h.checksum += sum
+				}
+			}
+			h.probeWG.Done()
+		})
+	}
+
+	// Skewed probe keys land unevenly across hash-table owners.
+	var probeWeights []float64
+	if spec.Probe.SkewTheta > 0 {
+		probeWeights = skewWeights(spec.Build.TotalRows(), spec.Probe.SkewTheta, len(buildNodes))
+	}
+
+	// --- Probe-side scanners (wait for global build barrier) --------------
+	for nd := 0; nd < n; nd++ {
+		nd := nd
+		node := e.C.Nodes[nd]
+		part := probeParts[nd]
+		e.C.Eng.Go(fmt.Sprintf("%s.probescan.%d", id, nd), func(p *sim.Proc) {
+			h.buildWG.Wait(p)
+			if nd == buildNodes[0] && h.buildEndAt == 0 {
+				h.buildEndAt = p.Now()
+			}
+			// Replicated-dimension semijoins: hash the local dimension
+			// copies (node-local CPU work), then filter probe tuples
+			// before they reach the exchange.
+			dimFilters, dimBuildBytes, dimErr := e.buildDimFilters(spec.Dims, spec.Probe.Materialize)
+			if dimErr != nil {
+				if h.Err == nil {
+					h.Err = dimErr
+				}
+				dimFilters = nil
+			} else if dimBuildBytes > 0 {
+				node.CPU.Process(p, dimBuildBytes*e.cfg.JoinWork)
+			}
+			local := isBuild[nd] && (spec.Method == Broadcast || spec.Method == Prepartitioned)
+			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.pq.%d", id, nd), e.cfg.MailboxCap)
+			e.C.Eng.Go(fmt.Sprintf("%s.probeship.%d", id, nd), func(sp *sim.Proc) {
+				rr := nd // round-robin cursor for non-owner broadcast probes
+				rt := newRouter(buildNodes, probeWeights)
+				for {
+					out, ok := sendQ.Get(sp)
+					if !ok {
+						break
+					}
+					switch {
+					case local:
+						// Probe against the local (full or co-partitioned)
+						// hash table; no exchange.
+						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: probeMB[nd]})
+					case spec.Method == Broadcast || spec.Method == Prepartitioned:
+						// Non-owner under broadcast: any owner can probe
+						// (they all hold the full table) — round-robin.
+						dst := buildNodes[rr%len(buildNodes)]
+						rr++
+						e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: out, Dest: probeMB[dst]})
+					default: // DualShuffle: route by join key.
+						routed := rt.route(out)
+						for _, dst := range buildNodes {
+							if sub, ok := routed[dst]; ok {
+								e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: sub, Dest: probeMB[dst]})
+							}
+						}
+					}
+				}
+				// EOS fan-out mirrors the mailbox sender counts.
+				if spec.Method == Broadcast || spec.Method == Prepartitioned {
+					if isBuild[nd] {
+						e.C.Send(sp, cluster.Message{From: nd, To: nd, EOS: true, Dest: probeMB[nd]})
+					} else {
+						for _, dst := range buildNodes {
+							e.C.Send(sp, cluster.Message{From: nd, To: dst, EOS: true, Dest: probeMB[dst]})
+						}
+					}
+				} else {
+					for _, dst := range buildNodes {
+						e.C.Send(sp, cluster.Message{From: nd, To: dst, EOS: true, Dest: probeMB[dst]})
+					}
+				}
+			})
+			e.scanFilter(p, node, part, spec.ProbeSel, func(p *sim.Proc, out storage.Batch) {
+				if len(dimFilters) > 0 {
+					out = applyDimFilters(p, node.CPU, dimFilters, out)
+				}
+				if out.Rows > 0 {
+					sendQ.Put(p, out)
+				}
+			})
+			sendQ.Close()
+		})
+	}
+
+	// --- Completion --------------------------------------------------------
+	e.C.Eng.Go(id+".finalize", func(p *sim.Proc) {
+		h.probeWG.Wait(p)
+		h.finalize(p.Now())
+	})
+	return h, nil
+}
+
+func (h *Handle) finalize(end sim.Time) {
+	e := h.exec
+	r := &h.Result
+	r.Seconds = end - h.startAt
+	r.BuildSeconds = h.buildEndAt - h.startAt
+	r.ProbeSeconds = end - h.buildEndAt
+	r.OutputRows = h.outRows
+	r.Checksum = h.checksum
+	owners := make([]int, 0, len(h.tables))
+	for b := range h.tables {
+		owners = append(owners, b)
+	}
+	sort.Ints(owners)
+	for _, b := range owners {
+		ht := h.tables[b]
+		r.BuildRowsTotal += ht.rows
+		if ht.bytes > r.MaxHashTableBytes {
+			r.MaxHashTableBytes = ht.bytes
+		}
+		if e.cfg.CheckMemory {
+			memBytes := e.C.Nodes[b].Spec.MemoryMB * 1e6
+			if ht.bytes > memBytes {
+				h.Err = fmt.Errorf("pstore: hash table on node %d (%.0f MB) exceeds memory (%.0f MB); P-store has no 2-pass join",
+					b, ht.bytes/1e6, memBytes/1e6)
+			}
+		}
+	}
+	h.Done.Fire()
+}
+
+// router splits filtered batches across destination nodes. For
+// materialized batches rows are routed by Hash64(join key) — the same
+// hash storage segmentation uses, so partition-compatibility is exact.
+// Phantom batches split by per-destination weights (uniform unless the
+// key distribution is skewed) with fractional-row accumulators so totals
+// are exact.
+type router struct {
+	dests   []int
+	weights []float64 // nil = uniform
+	acc     []float64
+}
+
+func newRouter(dests []int, weights []float64) *router {
+	return &router{dests: dests, weights: weights, acc: make([]float64, len(dests))}
+}
+
+func (r *router) route(b storage.Batch) map[int]storage.Batch {
+	out := make(map[int]storage.Batch, len(r.dests))
+	d := len(r.dests)
+	if d == 1 {
+		out[r.dests[0]] = b
+		return out
+	}
+	if b.Phantom() {
+		for i, dst := range r.dests {
+			w := 1.0 / float64(d)
+			if r.weights != nil {
+				w = r.weights[i]
+			}
+			r.acc[i] += float64(b.Rows) * w
+			take := int(r.acc[i])
+			r.acc[i] -= float64(take)
+			if take > 0 {
+				out[dst] = storage.Batch{Rows: take, Width: b.Width}
+			}
+		}
+		return out
+	}
+	keys := b.Cols[storage.ColKey]
+	idx := make([][]int, d)
+	for i := 0; i < b.Rows; i++ {
+		j := int(tpch.Hash64(uint64(keys.Int64(i))) % uint64(d))
+		idx[j] = append(idx[j], i)
+	}
+	for j, rows := range idx {
+		if len(rows) > 0 {
+			out[r.dests[j]] = storage.FilterBatch(b, rows)
+		}
+	}
+	return out
+}
+
+// skewWeights returns the per-destination share of rows when join keys
+// follow Zipf(theta) over [1, nKeys] and are hash-routed across d
+// destinations: the mass of the hottest keys lands on whichever nodes
+// their hashes select, creating the §4.1 utilization imbalance. The head
+// of the distribution (up to 100k ranks) is enumerated exactly; the
+// near-uniform tail is spread evenly.
+func skewWeights(nKeys int64, theta float64, d int) []float64 {
+	w := make([]float64, d)
+	if theta <= 0 || d <= 1 {
+		for i := range w {
+			w[i] = 1.0 / float64(d)
+		}
+		return w
+	}
+	head := nKeys
+	if head > 100_000 {
+		head = 100_000
+	}
+	var headMass, totalMass float64
+	for r := int64(1); r <= head; r++ {
+		totalMass += math.Pow(float64(r), -theta)
+	}
+	headMass = totalMass
+	// Tail mass via the integral approximation of the truncated zeta sum.
+	if nKeys > head && theta != 1 {
+		totalMass += (math.Pow(float64(nKeys), 1-theta) - math.Pow(float64(head), 1-theta)) / (1 - theta)
+	}
+	for r := int64(1); r <= head; r++ {
+		j := int(tpch.Hash64(uint64(r)) % uint64(d))
+		w[j] += math.Pow(float64(r), -theta) / totalMass
+	}
+	tail := (totalMass - headMass) / totalMass
+	for i := range w {
+		w[i] += tail / float64(d)
+	}
+	return w
+}
+
+// RunJoin is the single-query convenience wrapper: launch, run the
+// simulation to completion, stop meters, and return the result plus the
+// cluster's total energy.
+func RunJoin(c *cluster.Cluster, cfg Config, spec JoinSpec) (JoinResult, float64, error) {
+	e := New(c, cfg)
+	h, err := e.LaunchJoin("q0", spec)
+	if err != nil {
+		return JoinResult{}, 0, err
+	}
+	c.Eng.Run()
+	if !h.Done.Fired() {
+		return JoinResult{}, 0, fmt.Errorf("pstore: join did not complete (deadlock?)")
+	}
+	c.StopMeters()
+	return h.Result, c.TotalJoules(), h.Err
+}
+
+// RunConcurrent launches k independent copies of spec simultaneously
+// (the paper's concurrency levels 1, 2, 4 in Figures 3-4) and returns
+// the makespan, per-query times, and total cluster energy.
+func RunConcurrent(c *cluster.Cluster, cfg Config, spec JoinSpec, k int) (makespan float64, perQuery []float64, joules float64, err error) {
+	e := New(c, cfg)
+	handles := make([]*Handle, k)
+	for i := 0; i < k; i++ {
+		handles[i], err = e.LaunchJoin(fmt.Sprintf("q%d", i), spec)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	c.Eng.Run()
+	for _, h := range handles {
+		if !h.Done.Fired() {
+			return 0, nil, 0, fmt.Errorf("pstore: query %s did not complete", h.ID)
+		}
+		if h.Err != nil {
+			return 0, nil, 0, h.Err
+		}
+		perQuery = append(perQuery, h.Result.Seconds)
+		makespan = math.Max(makespan, h.Result.Seconds)
+	}
+	c.StopMeters()
+	return makespan, perQuery, c.TotalJoules(), nil
+}

@@ -1,0 +1,135 @@
+package pstore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/tpch"
+)
+
+func TestSkewWeightsSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1.0, 1.5} {
+		for _, d := range []int{2, 4, 8} {
+			w := skewWeights(1_500_000, theta, d)
+			sum := 0.0
+			for _, v := range w {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("theta=%v d=%d: weights sum to %v", theta, d, sum)
+			}
+		}
+	}
+}
+
+func TestSkewWeightsUniformAtThetaZero(t *testing.T) {
+	w := skewWeights(1000, 0, 4)
+	for _, v := range w {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Fatalf("theta=0 weights not uniform: %v", w)
+		}
+	}
+}
+
+func TestSkewWeightsImbalanceGrowsWithTheta(t *testing.T) {
+	spread := func(theta float64) float64 {
+		w := skewWeights(1_500_000, theta, 8)
+		min, max := w[0], w[0]
+		for _, v := range w {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		return max - min
+	}
+	s0, s5, s10 := spread(0), spread(0.5), spread(1.0)
+	if !(s10 > s5 && s5 > s0) {
+		t.Fatalf("imbalance not increasing: %v %v %v", s0, s5, s10)
+	}
+	if s10 < 0.05 {
+		t.Fatalf("theta=1 spread %v too small to matter", s10)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		for _, u := range []float64{0, 0.5, 0.999999} {
+			r := tpch.ZipfRank(u, 1000, theta)
+			if r < 1 || r > 1000 {
+				t.Fatalf("ZipfRank(%v, 1000, %v) = %d out of range", u, theta, r)
+			}
+		}
+	}
+	if tpch.ZipfRank(0.5, 1, 1.0) != 1 {
+		t.Fatal("single-key domain")
+	}
+}
+
+func TestZipfHeadMass(t *testing.T) {
+	// At theta=1, the top 1% of ranks should hold a large share of the
+	// mass (>25% for n=1e6-ish domains).
+	n := int64(100_000)
+	hits := 0
+	const samples = 20_000
+	for i := 0; i < samples; i++ {
+		u := (float64(i) + 0.5) / samples
+		if tpch.ZipfRank(u, n, 1.0) <= n/100 {
+			hits++
+		}
+	}
+	frac := float64(hits) / samples
+	if frac < 0.25 {
+		t.Fatalf("top-1%% ranks hold %.3f of mass, want > 0.25 at theta=1", frac)
+	}
+}
+
+func TestSkewSlowsJoinAndWastesEnergy(t *testing.T) {
+	// The §4.1 skew bottleneck: the hot node becomes the straggler, so
+	// the same join takes longer and the cluster burns more energy.
+	run := func(theta float64) (float64, float64) {
+		c, err := cluster.New(cluster.Homogeneous(8, hw.ClusterV()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		build, probe := smallDefs(false)
+		build.SF, probe.SF = 10, 10
+		probe.SkewTheta = theta
+		res, j, err := RunJoin(c, Config{BatchRows: 200_000, WarmCache: true}, JoinSpec{
+			Build: build, Probe: probe, BuildSel: 0.05, ProbeSel: 0.5, Method: DualShuffle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds, j
+	}
+	tUniform, jUniform := run(0)
+	tSkew, jSkew := run(1.0)
+	if tSkew <= tUniform*1.02 {
+		t.Fatalf("skewed join %.3fs not slower than uniform %.3fs", tSkew, tUniform)
+	}
+	if jSkew <= jUniform {
+		t.Fatalf("skewed join energy %.0f J not above uniform %.0f J", jSkew, jUniform)
+	}
+}
+
+func TestSkewedMaterializedMatchesReference(t *testing.T) {
+	// Functional correctness under skew: the engine's output must still
+	// equal the serial reference join over the skewed generator.
+	build, probe := smallDefs(true)
+	probe.SkewTheta = 1.0
+	wantRows, wantSum := ReferenceJoin(build, probe, 0.10, 0.10)
+	if wantRows == 0 {
+		t.Fatal("degenerate skewed reference")
+	}
+	c := newCluster(t, 4)
+	res, _, err := RunJoin(c, cfgSmall(), JoinSpec{
+		Build: build, Probe: probe, BuildSel: 0.10, ProbeSel: 0.10, Method: DualShuffle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputRows != wantRows || res.Checksum != wantSum {
+		t.Fatalf("skewed join (%d,%d) != reference (%d,%d)", res.OutputRows, res.Checksum, wantRows, wantSum)
+	}
+}

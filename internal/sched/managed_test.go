@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestManagedSavesEnergyVsUnmanaged(t *testing.T) {
+	// Sparse batched stream with real gaps: the managed run sleeps the
+	// cluster between batches and must meter less energy over the same
+	// virtual period, with identical per-query response times.
+	wl := Periodic(testSpec(), 6, 60) // arrivals over 5 minutes
+	policy := Batched{Window: 120}
+
+	cu, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmanaged, err := Run(cu, cfg(), wl, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := RunManaged(cm, cfg(), wl, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range wl {
+		// Management adds wake events that shift FCFS tie-breaking by
+		// milliseconds; responses must agree to well under 1%.
+		mr, ur := managed.Queries[i].Response(), unmanaged.Queries[i].Response()
+		if math.Abs(mr-ur)/ur > 0.005 {
+			t.Fatalf("query %d response changed under management: %v vs %v", i, mr, ur)
+		}
+	}
+	if managed.Joules >= unmanaged.Joules*0.95 {
+		t.Fatalf("managed %.0f J vs unmanaged %.0f J: want >5%% savings", managed.Joules, unmanaged.Joules)
+	}
+}
+
+func TestManagedMatchesAnalyticalSleepPrediction(t *testing.T) {
+	// The simulated power-managed run should land near the analytical
+	// EnergyWithSleep estimate computed from the unmanaged run's gaps.
+	wl := Periodic(testSpec(), 4, 90)
+	policy := Batched{Window: 180}
+
+	cu, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmanaged, err := Run(cu, cfg(), wl, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := RunManaged(cm, cfg(), wl, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleepW := 0.0
+	wake := 0.0
+	for _, n := range cm.Nodes {
+		sleepW += n.Spec.SleepModelWatts()
+		wake = math.Max(wake, n.Spec.WakeDelay())
+	}
+	predicted := unmanaged.EnergyWithSleep(unmanaged.Makespan, sleepW, wake)
+	if rel := math.Abs(managed.Joules-predicted) / predicted; rel > 0.10 {
+		t.Fatalf("managed metered %.0f J vs analytical %.0f J (%.1f%% off)",
+			managed.Joules, predicted, rel*100)
+	}
+}
+
+func TestManagedSkipsShortGaps(t *testing.T) {
+	// Arrivals closer together than the wake delay: the cluster must not
+	// sleep (no time to transition), so energy matches the unmanaged run.
+	wl := Periodic(testSpec(), 4, 5) // 5 s apart << 30 s wake
+	cu, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmanaged, err := Run(cu, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := RunManaged(cm, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(managed.Joules-unmanaged.Joules)/unmanaged.Joules > 0.01 {
+		t.Fatalf("managed %.0f J != unmanaged %.0f J despite unsleepable gaps",
+			managed.Joules, unmanaged.Joules)
+	}
+}
+
+func TestNodeSleepWakeAccounting(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[0]
+	if n.Asleep() {
+		t.Fatal("new node asleep")
+	}
+	if err := n.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Sleep(); err == nil {
+		t.Fatal("double sleep accepted")
+	}
+	c.Eng.RunUntil(100)
+	ready := n.Wake()
+	if want := 100 + n.Spec.WakeDelay(); ready != want {
+		t.Fatalf("wake ready at %v, want %v", ready, want)
+	}
+	if got := n.AsleepBetween(0, 100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("asleep seconds = %v, want 100", got)
+	}
+	if got := n.AsleepBetween(50, 80); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("window asleep = %v, want 30", got)
+	}
+}
+
+func TestSleepDefaultsSensible(t *testing.T) {
+	s := hw.ClusterV()
+	if s.SleepModelWatts() >= s.IdleModelWatts() {
+		t.Fatal("sleep power not below idle")
+	}
+	if s.WakeDelay() <= 0 {
+		t.Fatal("no wake delay")
+	}
+}

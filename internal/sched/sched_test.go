@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/pstore"
+	"repro/internal/workload"
+)
+
+func mkCluster() (*cluster.Cluster, error) {
+	return cluster.New(cluster.Homogeneous(4, hw.ClusterV()))
+}
+
+func testSpec() pstore.JoinSpec {
+	return workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
+}
+
+func cfg() pstore.Config {
+	return pstore.Config{WarmCache: true, BatchRows: 200_000}
+}
+
+func TestPeriodicWorkload(t *testing.T) {
+	wl := Periodic(testSpec(), 5, 30)
+	if len(wl) != 5 || wl[4].Arrival != 120 {
+		t.Fatalf("periodic workload wrong: %+v", wl)
+	}
+	if wl.Span() != 120 {
+		t.Fatalf("span = %v", wl.Span())
+	}
+}
+
+func TestImmediateRunsAtArrival(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Periodic(testSpec(), 3, 50)
+	res, err := Run(c, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range res.Queries {
+		if q.Launched != wl[i].Arrival {
+			t.Fatalf("query %d launched at %v, arrival %v", i, q.Launched, wl[i].Arrival)
+		}
+		if q.Finished <= q.Launched {
+			t.Fatalf("query %d finished before launch", i)
+		}
+	}
+	if res.Makespan <= 100 {
+		t.Fatalf("makespan %v, want > last arrival", res.Makespan)
+	}
+}
+
+func TestBatchedReleaseBoundaries(t *testing.T) {
+	b := Batched{Window: 60}
+	cases := map[float64]float64{0: 0, 1: 60, 59.9: 60, 60: 60, 61: 120}
+	for arr, want := range cases {
+		if got := b.ReleaseAt(arr); got != want {
+			t.Fatalf("ReleaseAt(%v) = %v, want %v", arr, got, want)
+		}
+	}
+	if (Batched{}).ReleaseAt(17) != 17 {
+		t.Fatal("zero window must behave as immediate")
+	}
+}
+
+func TestAllQueriesComplete(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Periodic(testSpec(), 6, 10)
+	res, err := Run(c, cfg(), wl, Batched{Window: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 6 {
+		t.Fatalf("%d results, want 6", len(res.Queries))
+	}
+	for _, q := range res.Queries {
+		if q.Response() < 0 || q.Execution() <= 0 {
+			t.Fatalf("bad query result: %+v", q)
+		}
+	}
+}
+
+func TestBatchingTradesLatencyForEnergy(t *testing.T) {
+	// The §2 delayed-execution trade. Batching alone barely moves energy
+	// (each query already saturates the cluster while it runs), but it
+	// consolidates idle time into long gaps a power-managed cluster can
+	// sleep through; with a 10 s wake transition, the batched schedule
+	// saves real energy while mean response time grows.
+	wl := Periodic(testSpec(), 8, 15)
+	imm, bat, err := Compare(mkCluster, cfg(), wl, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := math.Max(imm.Makespan, bat.Makespan)
+	eImm, eBat := imm.EnergyOver(horizon), bat.EnergyOver(horizon)
+	if eBat > eImm*1.01 {
+		t.Fatalf("batched energy %.0f J worse than immediate %.0f J", eBat, eImm)
+	}
+	sleepW := imm.IdleWatts * 0.1
+	sImm := imm.EnergyWithSleep(horizon, sleepW, 10)
+	sBat := bat.EnergyWithSleep(horizon, sleepW, 10)
+	if sBat >= sImm*0.95 {
+		t.Fatalf("sleep-enabled: batched %.0f J vs immediate %.0f J; want >5%% savings", sBat, sImm)
+	}
+	if bat.MeanResp <= imm.MeanResp {
+		t.Fatalf("batched mean response %.1f s <= immediate %.1f s; latency must be the price", bat.MeanResp, imm.MeanResp)
+	}
+}
+
+func TestGapsCoverIdleTime(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Periodic(testSpec(), 3, 50)
+	res, err := Run(c, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := res.Makespan + 20
+	gaps := res.Gaps(horizon)
+	var gapTime, busyTime float64
+	for _, g := range gaps {
+		if g[1] <= g[0] {
+			t.Fatalf("degenerate gap %v", g)
+		}
+		gapTime += g[1] - g[0]
+	}
+	for _, q := range res.Queries {
+		busyTime += q.Execution()
+	}
+	// Queries here do not overlap (50 s apart, sub-second runtime):
+	// gaps + busy must tile the horizon exactly.
+	if math.Abs(gapTime+busyTime-horizon) > 1e-6 {
+		t.Fatalf("gaps (%.2f) + busy (%.2f) != horizon (%.2f)", gapTime, busyTime, horizon)
+	}
+}
+
+func TestEnergyWithSleepBounds(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, cfg(), Periodic(testSpec(), 2, 100), Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Makespan + 50
+	base := res.EnergyOver(h)
+	// Sleeping at idle watts saves nothing; sleeping at 0 W with no
+	// transition saves exactly idleWatts * gap time.
+	if res.EnergyWithSleep(h, res.IdleWatts, 0) != base {
+		t.Fatal("sleep at idle power changed energy")
+	}
+	var gapTime float64
+	for _, g := range res.Gaps(h) {
+		gapTime += g[1] - g[0]
+	}
+	want := base - res.IdleWatts*gapTime
+	if math.Abs(res.EnergyWithSleep(h, 0, 0)-want) > 1e-6 {
+		t.Fatalf("free sleep = %.2f, want %.2f", res.EnergyWithSleep(h, 0, 0), want)
+	}
+	// Savings are monotone in wake transition cost.
+	if res.EnergyWithSleep(h, 0, 30) < res.EnergyWithSleep(h, 0, 5) {
+		t.Fatal("longer wake transition saved more energy")
+	}
+}
+
+func TestEnergyOverExtendsWithIdlePower(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, cfg(), Periodic(testSpec(), 1, 0), Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := res.EnergyOver(res.Makespan+10) - res.Joules
+	want := res.IdleWatts * 10
+	if math.Abs(extra-want) > 1e-6 {
+		t.Fatalf("horizon extension added %.2f J, want %.2f", extra, want)
+	}
+	if res.EnergyOver(0) != res.Joules {
+		t.Fatal("EnergyOver below makespan must return metered joules")
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	c, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(c, cfg(), nil, Immediate{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if (Immediate{}).String() != "immediate" {
+		t.Fatal("Immediate string")
+	}
+	if (Batched{Window: 60}).String() != "batched(60s)" {
+		t.Fatal("Batched string")
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs in lock-step with the
+// simulation scheduler. At any instant at most one process (or event
+// callback) executes; a process runs until it blocks on a simulation
+// primitive (Hold, Queue.Get/Put, Server.Process, WaitGroup.Wait, ...),
+// at which point control returns to the scheduler.
+//
+// All blocking methods must be called only from within the process's own
+// body function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go spawns a new simulated process executing body. The process starts at
+// the current virtual time (as a scheduled event, after already-queued
+// events at this timestamp).
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.live++
+	started := false
+	e.Schedule(0, func() {
+		if started {
+			return
+		}
+		started = true
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					// Re-panic on the scheduler side with context.
+					p.done = true
+					p.eng.live--
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}()
+			body(p)
+			p.done = true
+			p.eng.live--
+			p.yield <- struct{}{}
+		}()
+		p.dispatch()
+	})
+	return p
+}
+
+// dispatch transfers control to the process and waits for it to yield
+// back. Called only from scheduler context.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block yields control back to the scheduler and waits to be resumed.
+// Called only from process context.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Hold suspends the process for d seconds of virtual time.
+func (p *Proc) Hold(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s Hold(%v) negative", p.name, d))
+	}
+	if d == 0 {
+		// Even a zero hold yields to the scheduler, preserving fairness.
+		p.eng.Schedule(0, func() { p.dispatch() })
+		p.block()
+		return
+	}
+	p.eng.Schedule(d, func() { p.dispatch() })
+	p.block()
+}
+
+// HoldUntil suspends the process until absolute virtual time t.
+func (p *Proc) HoldUntil(t Time) {
+	if t < p.eng.now {
+		panic(fmt.Sprintf("sim: %s HoldUntil(%v) in the past (now=%v)", p.name, t, p.eng.now))
+	}
+	p.eng.At(t, func() { p.dispatch() })
+	p.block()
+}
+
+// waitOn parks the process on an external wait-list. The wake function
+// passed to the registrar must eventually be invoked (from scheduler
+// context) to resume the process.
+func (p *Proc) waitOn(register func(wake func())) {
+	register(func() {
+		p.eng.Schedule(0, func() { p.dispatch() })
+	})
+	p.block()
+}
+
+// WaitGroup is a simulation-aware barrier. Unlike sync.WaitGroup it wakes
+// waiting processes through the scheduler so virtual time stays coherent.
+type WaitGroup struct {
+	count   int
+	waiters []func()
+}
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the counter; when it reaches zero all waiters resume.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter negative")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// Wait blocks the process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	p.waitOn(func(wake func()) { wg.waiters = append(wg.waiters, wake) })
+}
+
+// Event is a one-shot broadcast signal: processes wait until Fire is
+// called; waits after Fire return immediately.
+type Event struct {
+	fired   bool
+	waiters []func()
+}
+
+// Fire triggers the event, waking all waiters. Idempotent.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ws := ev.waiters
+	ev.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait blocks the process until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	p.waitOn(func(wake func()) { ev.waiters = append(ev.waiters, wake) })
+}

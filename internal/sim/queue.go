@@ -1,0 +1,113 @@
+package sim
+
+// Queue is a bounded FIFO connecting simulated processes. Put blocks the
+// calling process while the queue is full; Get blocks while it is empty.
+// Capacity 0 means unbounded. A Queue may be closed to signal end of
+// stream to consumers.
+//
+// Queues are the backpressure mechanism of the cluster simulation: an
+// overloaded downstream operator (or a saturated NIC ingress port) fills
+// its input queue and stalls its producers, which is precisely the
+// behaviour behind the network bottlenecks studied in the paper.
+type Queue[T any] struct {
+	name    string
+	cap     int
+	items   []T
+	closed  bool
+	getters []func()
+	putters []func()
+}
+
+// NewQueue creates a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](name string, capacity int) *Queue[T] {
+	return &Queue[T]{name: name, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+func (q *Queue[T]) wakeGetters() {
+	ws := q.getters
+	q.getters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (q *Queue[T]) wakePutters() {
+	ws := q.putters
+	q.putters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Put appends v, blocking while the queue is full. Putting into a closed
+// queue panics (producers must be quiesced before closing).
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		if q.closed {
+			panic("sim: Put on closed queue " + q.name)
+		}
+		p.waitOn(func(wake func()) { q.putters = append(q.putters, wake) })
+	}
+	if q.closed {
+		panic("sim: Put on closed queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	q.wakeGetters()
+}
+
+// TryPut appends v without blocking; reports whether it was accepted.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.wakeGetters()
+	return true
+}
+
+// TryGet removes and returns the oldest item without blocking; ok=false
+// when the queue is empty (buffered items remain retrievable after
+// Close).
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.wakePutters()
+	return v, true
+}
+
+// Get removes and returns the oldest item. It blocks while the queue is
+// empty; when the queue is closed and drained it returns ok=false.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		p.waitOn(func(wake func()) { q.getters = append(q.getters, wake) })
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.wakePutters()
+	return v, true
+}
+
+// Close marks the queue closed, waking any blocked getters. Items already
+// buffered remain retrievable.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.wakeGetters()
+	q.wakePutters()
+}

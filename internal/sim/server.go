@@ -1,0 +1,136 @@
+package sim
+
+import "fmt"
+
+// Server is a first-come-first-served rate server: a resource that
+// processes work measured in abstract units (we use bytes) at a fixed
+// rate (units/second). It models a node's CPU (units = bytes of tuple
+// data pushed through operators, rate = the paper's C_B/C_W "maximum CPU
+// bandwidth"), its disk subsystem (rate = I), and each NIC port
+// direction (rate = L).
+//
+// Jobs are serialized: a job submitted at time t with size s completes at
+// max(t, lastCompletion) + s/rate. The server records its busy intervals
+// so power meters can compute utilization over arbitrary windows.
+type Server struct {
+	eng  *Engine
+	name string
+	rate float64 // units per second
+	free Time    // time at which the server next becomes idle
+
+	// Busy intervals, sorted, non-overlapping, merged when adjacent.
+	// Pruned by ConsumeBusyUpTo as meters advance.
+	segs []interval
+
+	busyTotal float64 // cumulative busy seconds ever booked
+	unitsDone float64 // cumulative units processed
+}
+
+type interval struct{ start, end Time }
+
+// NewServer creates a rate server. Rate must be positive.
+func NewServer(eng *Engine, name string, rate float64) *Server {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: server %q rate %v must be positive", name, rate))
+	}
+	return &Server{eng: eng, name: name, rate: rate}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Rate returns the service rate in units/second.
+func (s *Server) Rate() float64 { return s.rate }
+
+// book reserves service for size units and returns the completion time.
+func (s *Server) book(size float64) Time {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: server %q negative work %v", s.name, size))
+	}
+	start := s.eng.now
+	if s.free > start {
+		start = s.free
+	}
+	dur := size / s.rate
+	end := start + dur
+	s.free = end
+	s.busyTotal += dur
+	s.unitsDone += size
+	if dur > 0 {
+		if n := len(s.segs); n > 0 && s.segs[n-1].end >= start {
+			s.segs[n-1].end = end
+		} else {
+			s.segs = append(s.segs, interval{start, end})
+		}
+	}
+	return end
+}
+
+// Process submits size units of work and blocks the calling process until
+// the work completes (FCFS behind earlier jobs).
+func (s *Server) Process(p *Proc, size float64) {
+	end := s.book(size)
+	if end > p.eng.now {
+		p.HoldUntil(end)
+	} else {
+		p.Hold(0)
+	}
+}
+
+// ProcessAsync books size units of work without blocking; the work
+// occupies the server (delaying later jobs) and fn, if non-nil, runs at
+// completion. Used for fire-and-forget charging (e.g. charging CPU for
+// work that overlaps another resource).
+func (s *Server) ProcessAsync(size float64, fn func()) {
+	end := s.book(size)
+	if fn != nil {
+		s.eng.At(end, fn)
+	}
+}
+
+// FreeAt returns the time at which currently queued work finishes.
+func (s *Server) FreeAt() Time { return s.free }
+
+// BusySeconds returns total busy time ever booked (including future
+// bookings not yet elapsed).
+func (s *Server) BusySeconds() float64 { return s.busyTotal }
+
+// UnitsProcessed returns total units ever booked.
+func (s *Server) UnitsProcessed() float64 { return s.unitsDone }
+
+// BusyBetween returns the busy seconds overlapping window [a, b).
+func (s *Server) BusyBetween(a, b Time) float64 {
+	busy := 0.0
+	for _, sg := range s.segs {
+		if sg.end <= a {
+			continue
+		}
+		if sg.start >= b {
+			break
+		}
+		lo, hi := sg.start, sg.end
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		busy += hi - lo
+	}
+	return busy
+}
+
+// ConsumeBusyUpTo returns busy seconds in [upto-window, upto) and prunes
+// interval history that ends before upto. Meters call this once per tick
+// so memory stays bounded regardless of run length.
+func (s *Server) ConsumeBusyUpTo(upto Time, window float64) float64 {
+	busy := s.BusyBetween(upto-window, upto)
+	i := 0
+	for i < len(s.segs) && s.segs[i].end <= upto {
+		i++
+	}
+	if i > 0 {
+		s.segs = append(s.segs[:0], s.segs[i:]...)
+	}
+	return busy
+}

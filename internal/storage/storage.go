@@ -1,0 +1,378 @@
+// Package storage implements the read-optimized columnar storage engine
+// that P-store is built on (the paper builds on the block-iterator
+// tuple-scan module and storage engine of Harizopoulos et al. [16]).
+//
+// The engine stores tables as typed column vectors grouped into fixed-size
+// blocks. A Batch is the unit flowing between operators: a set of column
+// vectors plus a logical row count. Batches come in two flavours:
+//
+//   - materialized: column data is present; operators compute real
+//     results (used by functional tests and small-scale runs);
+//   - phantom: only row counts/widths are tracked; operators perform the
+//     same control flow and charge the same simulated resources, but
+//     carry no data (used for paper-scale runs, SF 400-1000, where
+//     materializing terabytes is impossible — DESIGN.md §5).
+//
+// Partitioning supports the paper's placement schemes: hash segmentation
+// on a chosen column (Vertica's hash segmentation) and full replication.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/tpch"
+)
+
+// Batch is a horizontal slice of a table flowing through operators.
+type Batch struct {
+	// Rows is the logical row count.
+	Rows int
+	// Width is bytes per tuple (projected width).
+	Width int
+	// Cols holds materialized column vectors, nil for phantom batches.
+	// All columns have length Rows.
+	Cols []Column
+}
+
+// Bytes returns the batch's logical size in bytes.
+func (b Batch) Bytes() float64 { return float64(b.Rows) * float64(b.Width) }
+
+// Phantom reports whether the batch carries no materialized data.
+func (b Batch) Phantom() bool { return b.Cols == nil }
+
+// Column is a typed column vector. Only int64 columns are needed by the
+// paper's projections (keys, dates, prices-in-cents, priorities); the
+// interface leaves room for more types.
+type Column interface {
+	Len() int
+	// Int64 returns the value at row i (all paper columns are integral).
+	Int64(i int) int64
+	// Gather returns a new column with the rows at the given indexes.
+	Gather(idx []int) Column
+}
+
+// Int64Column is the concrete integral column.
+type Int64Column []int64
+
+// Len implements Column.
+func (c Int64Column) Len() int { return len(c) }
+
+// Int64 implements Column.
+func (c Int64Column) Int64(i int) int64 { return c[i] }
+
+// Gather implements Column.
+func (c Int64Column) Gather(idx []int) Column {
+	out := make(Int64Column, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// FilterBatch applies a row-index selection to all columns.
+func FilterBatch(b Batch, idx []int) Batch {
+	out := Batch{Rows: len(idx), Width: b.Width}
+	if b.Phantom() {
+		return out
+	}
+	out.Cols = make([]Column, len(b.Cols))
+	for i, c := range b.Cols {
+		out.Cols[i] = c.Gather(idx)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tables and partitions.
+
+// Placement describes how a table is distributed across cluster nodes.
+type Placement int
+
+const (
+	// HashSegmented partitions rows by hash of a key column (Vertica's
+	// hash segmentation; §3.1).
+	HashSegmented Placement = iota
+	// Replicated stores a full copy on every node (used for small tables:
+	// SUPPLIER, NATION, ...; §3.1).
+	Replicated
+)
+
+func (p Placement) String() string {
+	if p == Replicated {
+		return "replicated"
+	}
+	return "hash-segmented"
+}
+
+// TableDef describes one stored table (a projection in Vertica terms).
+type TableDef struct {
+	Table     tpch.Table
+	SF        tpch.ScaleFactor
+	Width     int // projected tuple width in bytes
+	Placement Placement
+	// SegmentColumn names the logical column whose hash drives
+	// segmentation (informational; segmentation uses the key extractor).
+	SegmentColumn string
+	// Materialize controls whether partitions carry real data.
+	Materialize bool
+	// RowsOverride, when positive, replaces the TPC-H cardinality —
+	// used for synthetic workloads such as the Figure 6 microbenchmark
+	// (0.1M x 20M rows of 100 bytes).
+	RowsOverride int64
+	// SkewTheta, when positive, draws LINEITEM foreign keys from a
+	// Zipf(theta) distribution instead of the uniform layout — the data
+	// skew substrate of §4.1 (hot orders receive many lineitems).
+	SkewTheta float64
+	// HomeNodes, when positive, declares that the table is physically
+	// laid out for a cluster of HomeNodes nodes with chained replica
+	// placement (Lang et al. [24], §2): when fewer nodes are online,
+	// each offline node's partition is adopted by a surviving replica
+	// holder (home partition h lands on online node h mod n). This
+	// models replication-based elastic scale-down WITHOUT repartitioning:
+	// per-node load is balanced only when n divides HomeNodes, which is
+	// exactly the stair-step behaviour the technique exhibits.
+	HomeNodes int
+}
+
+// TotalRows returns the table cardinality.
+func (d TableDef) TotalRows() int64 {
+	if d.RowsOverride > 0 {
+		return d.RowsOverride
+	}
+	return tpch.Rows(d.Table, d.SF)
+}
+
+// TotalBytes returns the projected table size in bytes.
+func (d TableDef) TotalBytes() float64 { return float64(d.TotalRows()) * float64(d.Width) }
+
+// Partition is the slice of a table resident on one node.
+type Partition struct {
+	Def  TableDef
+	Node int
+	Rows int64
+	// batches holds materialized blocks (nil when phantom).
+	batches []Batch
+}
+
+// Batches returns the partition's blocks. For phantom partitions it
+// synthesizes empty-data batches of blockRows each on the fly.
+func (p *Partition) Batches(blockRows int) []Batch {
+	if p.batches != nil {
+		return p.batches
+	}
+	n := int(p.Rows)
+	out := make([]Batch, 0, n/blockRows+1)
+	for n > 0 {
+		r := blockRows
+		if n < r {
+			r = n
+		}
+		out = append(out, Batch{Rows: r, Width: p.Def.Width})
+		n -= r
+	}
+	return out
+}
+
+// KeyFunc extracts the segmentation key from a table row index.
+type KeyFunc func(row int64) int64
+
+// SegmentKey returns the hash-segmentation key extractor selected by
+// SegmentColumn. Defaults reproduce the paper's layouts:
+//
+//   - §3.1 (Vertica): LINEITEM on L_ORDERKEY, ORDERS on O_CUSTKEY — a
+//     LINEITEM⋈ORDERS join on ORDERKEY is then partition-incompatible on
+//     the ORDERS side;
+//   - §4.3 (P-store): LINEITEM on L_SHIPDATE and ORDERS on O_CUSTKEY make
+//     the join incompatible on BOTH sides, forcing the dual shuffle.
+//
+// Unknown column names fall back to the table default.
+func SegmentKey(def TableDef) KeyFunc {
+	sf := def.SF
+	switch def.Table {
+	case tpch.Lineitem:
+		if def.SegmentColumn == "L_SHIPDATE" {
+			return func(i int64) int64 { return genLineitem(def, i).ShipDate }
+		}
+		return func(i int64) int64 { return genLineitem(def, i).OrderKey }
+	case tpch.Orders:
+		if def.SegmentColumn == "O_ORDERKEY" {
+			return func(i int64) int64 { return tpch.GenOrder(sf, i).OrderKey }
+		}
+		return func(i int64) int64 { return tpch.GenOrder(sf, i).CustKey }
+	case tpch.Customer:
+		return func(i int64) int64 { return tpch.GenCustomer(sf, i).CustKey }
+	default:
+		return func(i int64) int64 { return i }
+	}
+}
+
+// PartitionTable splits a table across n nodes according to its placement,
+// returning one Partition per node. Materialized partitions (Def.
+// Materialize) hold actual column data generated from the tpch package;
+// phantom partitions hold only row counts (computed exactly: each row is
+// routed by the same Hash64 the exchange operator uses).
+func PartitionTable(def TableDef, n int, blockRows int) ([]*Partition, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: need at least one node, got %d", n)
+	}
+	parts := make([]*Partition, n)
+	for i := range parts {
+		parts[i] = &Partition{Def: def, Node: i}
+	}
+	total := def.TotalRows()
+
+	if def.Placement == Replicated {
+		for _, p := range parts {
+			p.Rows = total
+		}
+		if def.Materialize {
+			for _, p := range parts {
+				p.batches = materialize(def, identityRows(total), blockRows)
+			}
+		}
+		return parts, nil
+	}
+
+	// With chained replica placement, rows hash to HomeNodes home
+	// partitions; each home partition is served by online node h mod n.
+	homes := n
+	if def.HomeNodes > 0 {
+		homes = def.HomeNodes
+	}
+
+	key := SegmentKey(def)
+	if def.Materialize {
+		rowsPerNode := make([][]int64, n)
+		for i := int64(0); i < total; i++ {
+			h := int(tpch.Hash64(uint64(key(i))) % uint64(homes))
+			rowsPerNode[h%n] = append(rowsPerNode[h%n], i)
+		}
+		for nd, rows := range rowsPerNode {
+			parts[nd].Rows = int64(len(rows))
+			parts[nd].batches = materialize(def, rows, blockRows)
+		}
+		return parts, nil
+	}
+
+	// Phantom: exact per-node counts without materializing values is
+	// impractical for SF>=400 (billions of hash calls), so distribute
+	// home partitions uniformly — justified because Hash64 balances dense
+	// keys to within a fraction of a percent (see tpch tests) and the
+	// paper assumes no skew. Remainder rows go to the lowest-numbered
+	// home partitions.
+	homeRows := make([]int64, homes)
+	base := total / int64(homes)
+	rem := total % int64(homes)
+	for h := range homeRows {
+		homeRows[h] = base
+		if int64(h) < rem {
+			homeRows[h]++
+		}
+	}
+	for h, r := range homeRows {
+		parts[h%n].Rows += r
+	}
+	return parts, nil
+}
+
+func identityRows(total int64) []int64 {
+	rows := make([]int64, total)
+	for i := range rows {
+		rows[i] = int64(i)
+	}
+	return rows
+}
+
+// materialize builds column batches for the given global row indexes.
+func materialize(def TableDef, rows []int64, blockRows int) []Batch {
+	var out []Batch
+	for start := 0; start < len(rows); start += blockRows {
+		end := start + blockRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[start:end]
+		out = append(out, materializeBatch(def, chunk))
+	}
+	if out == nil {
+		out = []Batch{}
+	}
+	return out
+}
+
+// genLineitem dispatches to the skewed generator when the table def
+// requests it.
+func genLineitem(def TableDef, i int64) tpch.LineitemRow {
+	if def.SkewTheta > 0 {
+		return tpch.GenLineitemSkewed(def.SF, i, def.SkewTheta)
+	}
+	return tpch.GenLineitem(def.SF, i)
+}
+
+func materializeBatch(def TableDef, rows []int64) Batch {
+	n := len(rows)
+	b := Batch{Rows: n, Width: def.Width}
+	switch def.Table {
+	case tpch.Lineitem:
+		key := make(Int64Column, n)
+		price := make(Int64Column, n)
+		disc := make(Int64Column, n)
+		sel := make(Int64Column, n)
+		supp := make(Int64Column, n)
+		for j, i := range rows {
+			r := genLineitem(def, i)
+			key[j], price[j], disc[j], sel[j], supp[j] =
+				r.OrderKey, r.ExtendedPrice, r.Discount, r.SelCol, r.SuppKey
+		}
+		b.Cols = []Column{key, price, disc, sel, supp}
+	case tpch.Orders:
+		key := make(Int64Column, n)
+		cust := make(Int64Column, n)
+		date := make(Int64Column, n)
+		sel := make(Int64Column, n)
+		for j, i := range rows {
+			r := tpch.GenOrder(def.SF, i)
+			key[j], cust[j], date[j], sel[j] = r.OrderKey, r.CustKey, r.OrderDate, r.SelCol
+		}
+		b.Cols = []Column{key, cust, date, sel}
+	case tpch.Customer:
+		key := make(Int64Column, n)
+		nat := make(Int64Column, n)
+		sel := make(Int64Column, n)
+		for j, i := range rows {
+			r := tpch.GenCustomer(def.SF, i)
+			key[j], nat[j], sel[j] = r.CustKey, r.NationKey, r.SelCol
+		}
+		b.Cols = []Column{key, nat, sel}
+	case tpch.Supplier:
+		key := make(Int64Column, n)
+		nat := make(Int64Column, n)
+		sel := make(Int64Column, n)
+		for j, i := range rows {
+			r := tpch.GenSupplier(def.SF, i)
+			key[j], nat[j], sel[j] = r.SuppKey, r.NationKey, r.SelCol
+		}
+		b.Cols = []Column{key, nat, sel}
+	default:
+		// Generic single-key table.
+		key := make(Int64Column, n)
+		for j, i := range rows {
+			key[j] = i
+		}
+		b.Cols = []Column{key}
+	}
+	return b
+}
+
+// Canonical column indexes for materialized batches (keep in sync with
+// materializeBatch).
+const (
+	ColKey = 0 // join/segmentation key column
+	// LINEITEM: 0=orderkey 1=extendedprice 2=discount 3=selcol 4=suppkey
+	LineitemColSel  = 3
+	LineitemColSupp = 4
+	// ORDERS: 0=orderkey 1=custkey 2=orderdate 3=selcol
+	OrdersColSel   = 3
+	CustomerColSel = 2
+	SupplierColSel = 2
+)

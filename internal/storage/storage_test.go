@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tpch"
+)
+
+func liDef(sf tpch.ScaleFactor, mat bool) TableDef {
+	return TableDef{
+		Table: tpch.Lineitem, SF: sf, Width: tpch.Q3ProjectedWidth,
+		Placement: HashSegmented, SegmentColumn: "L_ORDERKEY", Materialize: mat,
+	}
+}
+
+func ordDef(sf tpch.ScaleFactor, mat bool) TableDef {
+	return TableDef{
+		Table: tpch.Orders, SF: sf, Width: tpch.Q3ProjectedWidth,
+		Placement: HashSegmented, SegmentColumn: "O_CUSTKEY", Materialize: mat,
+	}
+}
+
+func TestPartitionConservesRows(t *testing.T) {
+	def := liDef(0.01, true)
+	parts, err := PartitionTable(def, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, p := range parts {
+		sum += p.Rows
+	}
+	if sum != def.TotalRows() {
+		t.Fatalf("partitioned rows = %d, want %d", sum, def.TotalRows())
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	def := liDef(0.01, true)
+	parts, _ := PartitionTable(def, 8, 1024)
+	want := float64(def.TotalRows()) / 8
+	for _, p := range parts {
+		if math.Abs(float64(p.Rows)-want)/want > 0.1 {
+			t.Fatalf("node %d holds %d rows, want ~%.0f", p.Node, p.Rows, want)
+		}
+	}
+}
+
+func TestPhantomPartitionCountsExact(t *testing.T) {
+	def := liDef(1000, false)
+	parts, _ := PartitionTable(def, 16, 4096)
+	var sum int64
+	for _, p := range parts {
+		sum += p.Rows
+	}
+	if sum != def.TotalRows() {
+		t.Fatalf("phantom rows = %d, want %d", sum, def.TotalRows())
+	}
+	// Uniform to within one row.
+	min, max := parts[0].Rows, parts[0].Rows
+	for _, p := range parts {
+		if p.Rows < min {
+			min = p.Rows
+		}
+		if p.Rows > max {
+			max = p.Rows
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("phantom imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func TestReplicatedPlacement(t *testing.T) {
+	def := TableDef{Table: tpch.Supplier, SF: 0.01, Width: 16, Placement: Replicated, Materialize: true}
+	parts, _ := PartitionTable(def, 3, 64)
+	for _, p := range parts {
+		if p.Rows != def.TotalRows() {
+			t.Fatalf("replica on node %d has %d rows, want %d", p.Node, p.Rows, def.TotalRows())
+		}
+	}
+}
+
+func TestSegmentationRoutesByKeyHash(t *testing.T) {
+	// Every row in node i's partition must hash to node i — the property
+	// "partition-compatible join needs no shuffle" relies on this.
+	def := ordDef(0.01, true)
+	n := 4
+	parts, _ := PartitionTable(def, n, 512)
+	key := SegmentKey(def)
+	_ = key
+	for _, p := range parts {
+		for _, b := range p.Batches(512) {
+			cust := b.Cols[1] // ORDERS col 1 = custkey
+			for i := 0; i < b.Rows; i++ {
+				if int(tpch.Hash64(uint64(cust.Int64(i)))%uint64(n)) != p.Node {
+					t.Fatalf("row with custkey %d on wrong node %d", cust.Int64(i), p.Node)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchesRespectBlockSize(t *testing.T) {
+	def := liDef(0.01, true)
+	parts, _ := PartitionTable(def, 2, 100)
+	for _, p := range parts {
+		batches := p.Batches(100)
+		var total int64
+		for i, b := range batches {
+			if b.Rows > 100 {
+				t.Fatalf("batch %d has %d rows > block size", i, b.Rows)
+			}
+			if b.Rows <= 0 {
+				t.Fatalf("batch %d empty", i)
+			}
+			total += int64(b.Rows)
+		}
+		if total != p.Rows {
+			t.Fatalf("batches hold %d rows, partition says %d", total, p.Rows)
+		}
+	}
+}
+
+func TestPhantomBatchesSynthesized(t *testing.T) {
+	def := liDef(1, false)
+	parts, _ := PartitionTable(def, 4, 4096)
+	b := parts[0].Batches(4096)
+	var total int64
+	for _, batch := range b {
+		if !batch.Phantom() {
+			t.Fatal("phantom partition produced materialized batch")
+		}
+		total += int64(batch.Rows)
+	}
+	if total != parts[0].Rows {
+		t.Fatalf("phantom batches = %d rows, want %d", total, parts[0].Rows)
+	}
+}
+
+func TestBatchBytes(t *testing.T) {
+	b := Batch{Rows: 1000, Width: 20}
+	if b.Bytes() != 20000 {
+		t.Fatalf("Bytes = %v", b.Bytes())
+	}
+}
+
+func TestFilterBatchMaterialized(t *testing.T) {
+	b := Batch{
+		Rows: 4, Width: 8,
+		Cols: []Column{Int64Column{10, 20, 30, 40}},
+	}
+	f := FilterBatch(b, []int{1, 3})
+	if f.Rows != 2 || f.Cols[0].Int64(0) != 20 || f.Cols[0].Int64(1) != 40 {
+		t.Fatalf("filtered batch wrong: %+v", f)
+	}
+}
+
+func TestFilterBatchPhantom(t *testing.T) {
+	b := Batch{Rows: 100, Width: 20}
+	f := FilterBatch(b, make([]int, 7))
+	if f.Rows != 7 || !f.Phantom() {
+		t.Fatalf("phantom filter wrong: %+v", f)
+	}
+}
+
+func TestPartitionTableRejectsZeroNodes(t *testing.T) {
+	if _, err := PartitionTable(liDef(1, false), 0, 64); err == nil {
+		t.Fatal("no error for 0 nodes")
+	}
+}
+
+func TestMaterializedMatchesGenerator(t *testing.T) {
+	// Values in materialized batches must be exactly the tpch generator's.
+	def := liDef(0.01, true)
+	parts, _ := PartitionTable(def, 1, 1<<20)
+	b := parts[0].Batches(1 << 20)[0]
+	for i := 0; i < 100; i++ {
+		want := tpch.GenLineitem(def.SF, int64(i))
+		if b.Cols[0].Int64(i) != want.OrderKey || b.Cols[3].Int64(i) != want.SelCol {
+			t.Fatalf("row %d: batch (%d,%d) != generator (%d,%d)", i,
+				b.Cols[0].Int64(i), b.Cols[3].Int64(i), want.OrderKey, want.SelCol)
+		}
+	}
+}
+
+// Property: partitioning any table over any node count conserves rows and
+// every materialized batch length matches its row count.
+func TestPartitionConservationProperty(t *testing.T) {
+	f := func(nodes8 uint8, blk8 uint8) bool {
+		n := int(nodes8%8) + 1
+		blk := int(blk8)%500 + 16
+		def := ordDef(0.002, true)
+		parts, err := PartitionTable(def, n, blk)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, p := range parts {
+			for _, b := range p.Batches(blk) {
+				for _, c := range b.Cols {
+					if c.Len() != b.Rows {
+						return false
+					}
+				}
+				sum += int64(b.Rows)
+			}
+		}
+		return sum == def.TotalRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if HashSegmented.String() != "hash-segmented" || Replicated.String() != "replicated" {
+		t.Error("Placement.String broken")
+	}
+}

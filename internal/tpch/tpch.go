@@ -1,0 +1,281 @@
+// Package tpch is a deterministic, stdlib-only synthetic generator for
+// the subset of the TPC-H schema the paper's experiments use: LINEITEM,
+// ORDERS, CUSTOMER, SUPPLIER, NATION, REGION and PART.
+//
+// It is NOT a faithful dbgen reimplementation; it is a substitution
+// (DESIGN.md §4) that preserves exactly the properties the experiments
+// depend on:
+//
+//   - table cardinalities per scale factor (SF1: 6,000,000 LINEITEM rows,
+//     1,500,000 ORDERS rows, 150,000 CUSTOMER rows, 10,000 SUPPLIER rows,
+//     25 NATION rows, 5 REGION rows, 200,000 PART rows);
+//   - the LINEITEM→ORDERS foreign-key join structure (1–7 lineitems per
+//     order, ~4 on average);
+//   - projected tuple widths (the paper's Q3 projections are four columns
+//     of 20 bytes total per table; the microbenchmark uses 100-byte
+//     tuples);
+//   - *controllable predicate selectivity*: selectivity columns are
+//     uniform in [0, 1,000,000), so a predicate "col < s*1e6" qualifies
+//     a fraction s of rows, deterministically and independently of the
+//     join keys.
+//
+// All values derive from counter-seeded splitmix64 streams, so any row of
+// any table can be generated independently (no state), which lets the
+// cluster generate per-node partitions in parallel and lets tests verify
+// cross-checks without materializing whole tables.
+package tpch
+
+import (
+	"fmt"
+	"math"
+)
+
+// splitmix64 is the SplitMix64 mixing function: a bijective hash with
+// excellent avalanche, used both as the row RNG and the partitioner hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 exposes the mixer for hash partitioning (storage & exchange use
+// the same function so partition-compatibility reasoning is exact).
+func Hash64(x uint64) uint64 { return splitmix64(x) }
+
+// uniform returns a deterministic pseudo-uniform value in [0, n) for the
+// given (stream, index) pair.
+func uniform(stream, index uint64, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return splitmix64(stream*0x9e3779b97f4a7c15^splitmix64(index)) % n
+}
+
+// SelDomain is the domain size of selectivity columns: a predicate
+// "value < SelThreshold(s)" qualifies fraction s of rows.
+const SelDomain = 1_000_000
+
+// SelThreshold converts a selectivity fraction (0..1) into the predicate
+// constant for a selectivity column.
+func SelThreshold(s float64) int64 {
+	if s <= 0 {
+		return 0
+	}
+	if s >= 1 {
+		return SelDomain
+	}
+	return int64(s * SelDomain)
+}
+
+// ScaleFactor describes TPC-H sizing. SF 1 is 1 GB of raw data in the
+// real benchmark; cardinalities below follow the TPC-H specification.
+type ScaleFactor float64
+
+// Cardinalities per the TPC-H spec (LINEITEM is approximate in real
+// dbgen; we fix it at exactly 4 per order for determinism of totals,
+// with per-order variation 1..7 preserved in row generation).
+func (sf ScaleFactor) Orders() int64    { return int64(1_500_000 * float64(sf)) }
+func (sf ScaleFactor) Lineitems() int64 { return 4 * sf.Orders() }
+func (sf ScaleFactor) Customers() int64 { return int64(150_000 * float64(sf)) }
+func (sf ScaleFactor) Suppliers() int64 { return int64(10_000 * float64(sf)) }
+func (sf ScaleFactor) Parts() int64     { return int64(200_000 * float64(sf)) }
+func (sf ScaleFactor) Nations() int64   { return 25 }
+func (sf ScaleFactor) Regions() int64   { return 5 }
+
+// Widths of the paper's projections, in bytes per tuple.
+const (
+	// Q3ProjectedWidth: "these four column projections (20B) were stored
+	// as tuples in memory for the scan operator to read" (§4.3).
+	Q3ProjectedWidth = 20
+	// MicrobenchWidth: the Figure 6 microbenchmark uses 100-byte tuples.
+	MicrobenchWidth = 100
+	// FullRowWidthLineitem approximates a full LINEITEM row (TPC-H ~112 B).
+	FullRowWidthLineitem = 112
+	// FullRowWidthOrders approximates a full ORDERS row (~104 B).
+	FullRowWidthOrders = 104
+)
+
+// Table identifies one of the generated tables.
+type Table int
+
+const (
+	Lineitem Table = iota
+	Orders
+	Customer
+	Supplier
+	Nation
+	Region
+	Part
+)
+
+var tableNames = [...]string{"LINEITEM", "ORDERS", "CUSTOMER", "SUPPLIER", "NATION", "REGION", "PART"}
+
+func (t Table) String() string {
+	if int(t) < len(tableNames) {
+		return tableNames[t]
+	}
+	return fmt.Sprintf("Table(%d)", int(t))
+}
+
+// Rows returns the cardinality of t at scale factor sf.
+func Rows(t Table, sf ScaleFactor) int64 {
+	switch t {
+	case Lineitem:
+		return sf.Lineitems()
+	case Orders:
+		return sf.Orders()
+	case Customer:
+		return sf.Customers()
+	case Supplier:
+		return sf.Suppliers()
+	case Nation:
+		return sf.Nations()
+	case Region:
+		return sf.Regions()
+	case Part:
+		return sf.Parts()
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Row generators. Each returns the columns the paper's queries touch.
+
+// OrderRow is a generated ORDERS tuple (projected columns).
+type OrderRow struct {
+	OrderKey     int64
+	CustKey      int64
+	OrderDate    int64 // days since epoch-like origin
+	ShipPriority int64
+	SelCol       int64 // uniform [0, SelDomain): drives O_* predicates
+}
+
+// GenOrder deterministically generates ORDERS row i (0-based).
+func GenOrder(sf ScaleFactor, i int64) OrderRow {
+	nCust := sf.Customers()
+	return OrderRow{
+		OrderKey:     i + 1,
+		CustKey:      int64(uniform(0xA11CE, uint64(i), uint64(nCust))) + 1,
+		OrderDate:    int64(uniform(0xDA7E, uint64(i), 2557)), // ~7 years of days
+		ShipPriority: int64(uniform(0x5A1B, uint64(i), 5)),
+		SelCol:       int64(uniform(0x5E10, uint64(i), SelDomain)),
+	}
+}
+
+// LineitemRow is a generated LINEITEM tuple (projected columns).
+type LineitemRow struct {
+	OrderKey      int64
+	SuppKey       int64 // FK to SUPPLIER, uniform (used by Q21-style plans)
+	ExtendedPrice int64 // cents
+	Discount      int64 // basis points
+	ShipDate      int64
+	Quantity      int64
+	SelCol        int64 // uniform [0, SelDomain): drives L_* predicates
+}
+
+// GenLineitem deterministically generates LINEITEM row i (0-based).
+// Lineitems are grouped 4 per order: rows [4k, 4k+3] belong to order k+1,
+// preserving the FK structure and clustering of dbgen output.
+func GenLineitem(sf ScaleFactor, i int64) LineitemRow {
+	order := i/4 + 1
+	nSupp := sf.Suppliers()
+	return LineitemRow{
+		OrderKey:      order,
+		SuppKey:       int64(uniform(0x50BB, uint64(i), uint64(nSupp))) + 1,
+		ExtendedPrice: int64(uniform(0xFA1CE, uint64(i), 10_000_00)) + 100,
+		Discount:      int64(uniform(0xD15C, uint64(i), 1001)),
+		ShipDate:      int64(uniform(0x5417, uint64(i), 2557)),
+		Quantity:      int64(uniform(0x9771, uint64(i), 50)) + 1,
+		SelCol:        int64(uniform(0x5E11, uint64(i), SelDomain)),
+	}
+}
+
+// CustomerRow is a generated CUSTOMER tuple.
+type CustomerRow struct {
+	CustKey   int64
+	NationKey int64
+	SelCol    int64
+}
+
+// GenCustomer deterministically generates CUSTOMER row i (0-based).
+func GenCustomer(sf ScaleFactor, i int64) CustomerRow {
+	return CustomerRow{
+		CustKey:   i + 1,
+		NationKey: int64(uniform(0x0A70, uint64(i), 25)),
+		SelCol:    int64(uniform(0x5E12, uint64(i), SelDomain)),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Skewed generation. Section 4.1 names data skew as the third fundamental
+// bottleneck ("even a small skew can cause an imbalance in the
+// utilization of the cluster nodes") and defers its study to future
+// work; these generators provide the substrate for that study.
+
+// ZipfRank maps a uniform u in [0,1) to a 1-based rank in [1,n] following
+// a Zipf(theta) distribution, via the closed-form inverse of the
+// continuous approximation of the Zipf CDF:
+//
+//	CDF(x) ≈ (x^(1-θ) - 1) / (n^(1-θ) - 1), θ != 1
+//
+// theta = 0 degenerates to uniform. The approximation's error against the
+// exact discrete Zipf is immaterial here: experiments only need "a small
+// number of keys receive a large share of rows" with a controllable
+// exponent.
+func ZipfRank(u float64, n int64, theta float64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	if theta <= 0 {
+		r := int64(u*float64(n)) + 1
+		if r > n {
+			r = n
+		}
+		return r
+	}
+	if theta == 1 {
+		theta = 0.9999 // avoid the log form; indistinguishable in effect
+	}
+	e := 1 - theta
+	x := pow(1+u*(pow(float64(n), e)-1), 1/e)
+	r := int64(x)
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// pow is math.Pow without importing math into this tiny hot path... it
+// simply forwards; kept as a named helper for clarity at call sites.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// GenLineitemSkewed is GenLineitem with the ORDERKEY foreign key drawn
+// from a Zipf(theta) distribution over the order domain instead of the
+// uniform 4-per-order layout: hot orders receive many lineitems, so
+// hash-partitioned shuffles deliver unbalanced load.
+func GenLineitemSkewed(sf ScaleFactor, i int64, theta float64) LineitemRow {
+	r := GenLineitem(sf, i)
+	u := float64(uniform(0x5C3B, uint64(i), 1<<52)) / float64(int64(1)<<52)
+	r.OrderKey = ZipfRank(u, sf.Orders(), theta)
+	return r
+}
+
+// SupplierRow is a generated SUPPLIER tuple.
+type SupplierRow struct {
+	SuppKey   int64
+	NationKey int64
+	SelCol    int64
+}
+
+// GenSupplier deterministically generates SUPPLIER row i (0-based).
+func GenSupplier(sf ScaleFactor, i int64) SupplierRow {
+	return SupplierRow{
+		SuppKey:   i + 1,
+		NationKey: int64(uniform(0x50FF, uint64(i), 25)),
+		SelCol:    int64(uniform(0x5E13, uint64(i), SelDomain)),
+	}
+}

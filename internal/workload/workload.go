@@ -1,0 +1,86 @@
+// Package workload defines the standard workloads of the paper's
+// evaluation as reusable specifications: the TPC-H Q3
+// LINEITEM⋈ORDERS hash join at the experiment scale factors, and the
+// Figure 6 single-node in-memory hash-join microbenchmark.
+package workload
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/pstore"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Q3Join returns the paper's workhorse join (Section 4.3): ORDERS (build)
+// ⋈ LINEITEM (probe) on ORDERKEY, partition-incompatible on both sides
+// (ORDERS segmented on O_CUSTKEY, LINEITEM on L_SHIPDATE), projected to
+// four 20-byte columns each.
+func Q3Join(sf tpch.ScaleFactor, buildSel, probeSel float64, method pstore.JoinMethod) pstore.JoinSpec {
+	return pstore.JoinSpec{
+		Build: storage.TableDef{
+			Table: tpch.Orders, SF: sf, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "O_CUSTKEY",
+		},
+		Probe: storage.TableDef{
+			Table: tpch.Lineitem, SF: sf, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "L_SHIPDATE",
+		},
+		BuildSel: buildSel,
+		ProbeSel: probeSel,
+		Method:   method,
+	}
+}
+
+// Q3JoinPrepartitioned returns the partition-compatible variant (both
+// tables segmented on ORDERKEY): the "prepartitioned (no network)" plan
+// of Figure 5.
+func Q3JoinPrepartitioned(sf tpch.ScaleFactor, buildSel, probeSel float64) pstore.JoinSpec {
+	s := Q3Join(sf, buildSel, probeSel, pstore.Prepartitioned)
+	s.Build.SegmentColumn = "O_ORDERKEY"
+	s.Probe.SegmentColumn = "L_ORDERKEY"
+	return s
+}
+
+// MicrobenchJoin returns the Figure 6 workload: an in-memory hash join
+// between a 0.1M-row (10 MB) build table and a 20M-row (2 GB) probe
+// table of 100-byte tuples, run on a single node.
+func MicrobenchJoin() pstore.JoinSpec {
+	return pstore.JoinSpec{
+		Build: storage.TableDef{
+			Table: tpch.Part, Width: tpch.MicrobenchWidth,
+			Placement: storage.HashSegmented, RowsOverride: 100_000,
+		},
+		Probe: storage.TableDef{
+			Table: tpch.Part, Width: tpch.MicrobenchWidth,
+			Placement: storage.HashSegmented, RowsOverride: 20_000_000,
+		},
+		BuildSel: 1.0, ProbeSel: 1.0,
+		Method:    pstore.Prepartitioned,
+		MatchRate: 1.0,
+	}
+}
+
+// RunMicrobench executes the Figure 6 workload on one node of the given
+// hardware and returns (response seconds, joules).
+func RunMicrobench(spec hw.Spec) (float64, float64, error) {
+	c, err := cluster.New(cluster.Homogeneous(1, spec))
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := pstore.Config{WarmCache: true, BatchRows: 100_000}
+	res, joules, err := pstore.RunJoin(c, cfg, MicrobenchJoin())
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Seconds, joules, nil
+}
+
+// HeteroQ3 returns the heterogeneous-execution variant of Q3Join for a
+// cluster whose Beefy nodes are listed in buildNodes (§5.2.2: Wimpy
+// nodes scan/filter/ship; Beefy nodes own the hash tables).
+func HeteroQ3(sf tpch.ScaleFactor, buildSel, probeSel float64, buildNodes []int) pstore.JoinSpec {
+	s := Q3Join(sf, buildSel, probeSel, pstore.DualShuffle)
+	s.BuildNodes = buildNodes
+	return s
+}

@@ -1,8 +1,10 @@
 package repro
 
-// Ablation benchmarks for the design choices DESIGN.md calls out. Each
-// reports the quantity that the ablation is about as a custom metric, so
-// `go test -bench=Ablation` doubles as a sensitivity report.
+// Ablation benchmarks for the simulator's load-bearing design choices
+// (warm-cache regime, batch granularity, skew, DVFS, switch congestion,
+// the JoinWork constant, scheduling policy, elasticity). Each reports the
+// quantity the ablation is about as a custom metric, so `go test
+// -bench=Ablation` doubles as a sensitivity report.
 
 import (
 	"math"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/pstore"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -26,23 +29,31 @@ func mustCluster(b *testing.B, n int, spec hw.Spec) *cluster.Cluster {
 	return c
 }
 
+// joinSeconds runs one independent join on a fresh homogeneous cluster;
+// the multi-configuration ablations below fan these out with runner.Map
+// (each run owns its private engine, so results are unchanged).
+func joinSeconds(n int, hwSpec hw.Spec, cfg pstore.Config, spec pstore.JoinSpec) (float64, error) {
+	c, err := cluster.New(cluster.Homogeneous(n, hwSpec))
+	if err != nil {
+		return 0, err
+	}
+	r, _, err := pstore.RunJoin(c, cfg, spec)
+	return r.Seconds, err
+}
+
 // BenchmarkAblationWarmVsCold compares the §5.3.1 warm-cache regime
 // (CPU-rate scans) against cold disk-rate scans for the same join.
 func BenchmarkAblationWarmVsCold(b *testing.B) {
 	spec := workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
 	var warmS, coldS float64
 	for i := 0; i < b.N; i++ {
-		cw := mustCluster(b, 4, hw.BeefyL5630())
-		rw, _, err := pstore.RunJoin(cw, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+		secs, err := runner.Map(0, []bool{true, false}, func(_ int, warm bool) (float64, error) {
+			return joinSeconds(4, hw.BeefyL5630(), pstore.Config{WarmCache: warm, BatchRows: 200_000}, spec)
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		cc := mustCluster(b, 4, hw.BeefyL5630())
-		rc, _, err := pstore.RunJoin(cc, pstore.Config{WarmCache: false, BatchRows: 200_000}, spec)
-		if err != nil {
-			b.Fatal(err)
-		}
-		warmS, coldS = rw.Seconds, rc.Seconds
+		warmS, coldS = secs[0], secs[1]
 	}
 	b.ReportMetric(coldS/warmS, "cold/warm-slowdown")
 }
@@ -56,14 +67,11 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 	spec := workload.Q3Join(40, 0.05, 0.05, pstore.DualShuffle)
 	var dev float64
 	for i := 0; i < b.N; i++ {
-		var secs []float64
-		for _, rows := range []int{50_000, 200_000, 800_000} {
-			c := mustCluster(b, 4, hw.ClusterV())
-			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: rows}, spec)
-			if err != nil {
-				b.Fatal(err)
-			}
-			secs = append(secs, r.Seconds)
+		secs, err := runner.Map(0, []int{50_000, 200_000, 800_000}, func(_ int, rows int) (float64, error) {
+			return joinSeconds(4, hw.ClusterV(), pstore.Config{WarmCache: true, BatchRows: rows}, spec)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 		min, max := secs[0], secs[0]
 		for _, s := range secs {
@@ -155,14 +163,11 @@ func BenchmarkAblationJoinWork(b *testing.B) {
 	spec := workload.Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		var secs []float64
-		for _, jw := range []float64{0.5, 1.0, 2.0} {
-			c := mustCluster(b, 8, hw.ClusterV())
-			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000, JoinWork: jw}, spec)
-			if err != nil {
-				b.Fatal(err)
-			}
-			secs = append(secs, r.Seconds)
+		secs, err := runner.Map(0, []float64{0.5, 1.0, 2.0}, func(_ int, jw float64) (float64, error) {
+			return joinSeconds(8, hw.ClusterV(), pstore.Config{WarmCache: true, BatchRows: 200_000, JoinWork: jw}, spec)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 		spread = (secs[2] - secs[0]) / secs[0]
 	}
@@ -199,19 +204,19 @@ func BenchmarkAblationBatchingPolicy(b *testing.B) {
 func BenchmarkAblationElastic(b *testing.B) {
 	var at6, at4 float64
 	for i := 0; i < b.N; i++ {
-		run := func(n, homes int) float64 {
+		type elasticCase struct{ n, homes int }
+		cases := []elasticCase{{6, 8}, {6, 0}, {4, 8}, {4, 0}}
+		secs, err := runner.Map(0, cases, func(_ int, ec elasticCase) (float64, error) {
 			spec := workload.Q3Join(10, 0.02, 0.02, pstore.DualShuffle)
-			spec.Build.HomeNodes = homes
-			spec.Probe.HomeNodes = homes
-			c := mustCluster(b, n, hw.ClusterV())
-			r, _, err := pstore.RunJoin(c, pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
-			if err != nil {
-				b.Fatal(err)
-			}
-			return r.Seconds
+			spec.Build.HomeNodes = ec.homes
+			spec.Probe.HomeNodes = ec.homes
+			return joinSeconds(ec.n, hw.ClusterV(), pstore.Config{WarmCache: true, BatchRows: 200_000}, spec)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
-		at6 = run(6, 8) / run(6, 0)
-		at4 = run(4, 8) / run(4, 0)
+		at6 = secs[0] / secs[1]
+		at4 = secs[2] / secs[3]
 	}
 	b.ReportMetric(at6, "elastic/native@6of8")
 	b.ReportMetric(at4, "elastic/native@4of8")

@@ -11,27 +11,62 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func benchExperiment(b *testing.B, id string, metrics func(b *testing.B, rep experiments.Report)) {
 	b.Helper()
-	e, err := experiments.ByID(id)
+	exps, err := runner.Select(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var rep experiments.Report
 	for i := 0; i < b.N; i++ {
-		rep, err = e.Run()
+		results, err := runner.Run(exps, runner.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
+		rep = results[0].Report
 	}
 	if metrics != nil {
 		metrics(b, rep)
 	}
 }
+
+// benchSuite runs the full 20-experiment registry through the runner with
+// the given worker count and reports the sum of per-experiment wall times
+// divided by the elapsed wall time of the suite. Under contention the
+// per-experiment walls are themselves inflated, so this metric is an
+// optimistic indicator only; the authoritative end-to-end speedup is the
+// ns/op ratio of BenchmarkSuiteSerial to BenchmarkSuiteParallel.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		results, err := runner.Run(experiments.Registry(), runner.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		var sum time.Duration
+		for _, r := range results {
+			sum += r.Wall
+		}
+		speedup = float64(sum) / float64(elapsed)
+	}
+	b.ReportMetric(speedup, "aggregate-speedup")
+}
+
+// BenchmarkSuiteSerial is the single-worker baseline for the full
+// evaluation; BenchmarkSuiteParallel fans it out over GOMAXPROCS workers.
+// Comparing ns/op between the two gives the end-to-end speedup of the
+// parallel runner on this machine.
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 
 // reportPair publishes one paper-vs-measured pair as benchmark metrics.
 func reportPair(b *testing.B, rep experiments.Report, metric, unit string) {

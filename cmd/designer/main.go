@@ -6,21 +6,29 @@
 //	designer -build-gb 700 -probe-gb 2800 -bsel 0.10 -psel 0.02 \
 //	         -nodes 8 -target 0.6
 //
+//	designer -sweep '0.01,0.02,0.05,0.10' -nodes 8 -target 0.6
+//
 // The tool classifies the workload (scalable vs bottlenecked), explores
 // every homogeneous size and Beefy/Wimpy mix, and prints the
-// recommendation with the full candidate table.
+// recommendation with the full candidate table. With -sweep it evaluates
+// the full bsel x psel selectivity grid concurrently (one designer run
+// per cell, fanned out on the runner's worker pool) and prints the
+// recommended design per cell — the "entire workload" view of §6.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/power"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -32,16 +40,29 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "cluster size to design for")
 		target  = flag.Float64("target", 0.6, "minimum acceptable normalized performance (0..1]")
 		warm    = flag.Bool("warm", false, "working set cached (scan at CPU rate)")
+		sweep   = flag.String("sweep", "", "comma-separated selectivities: design the full bsel x psel grid in parallel")
+		jobs    = flag.Int("j", 0, "parallel workers for -sweep (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	base := model.FromSpecs(*nodes, hw.ClusterV(), 0, hw.WimpyModelNode())
-	base.Bld = *buildGB * 1000
-	base.Prb = *probeGB * 1000
-	base.Sbld, base.Sprb = *bsel, *psel
-	base.WarmCache = *warm
+	params := func(bs, ps float64) model.Params {
+		base := model.FromSpecs(*nodes, hw.ClusterV(), 0, hw.WimpyModelNode())
+		base.Bld = *buildGB * 1000
+		base.Prb = *probeGB * 1000
+		base.Sbld, base.Sprb = bs, ps
+		base.WarmCache = *warm
+		return base
+	}
 
-	d := core.Designer{Base: base, MaxNodes: *nodes}
+	if *sweep != "" {
+		if err := sweepGrid(*sweep, params, *nodes, *target, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	d := core.Designer{Base: params(*bsel, *psel), MaxNodes: *nodes}
 	adv, err := d.Recommend(*target)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -73,4 +94,45 @@ func main() {
 	fmt.Print(s.Table())
 	fmt.Println()
 	fmt.Print(s.Plot(56, 14))
+}
+
+// sweepGrid designs every (bsel, psel) cell of the grid concurrently and
+// prints the per-cell recommendation.
+func sweepGrid(spec string, params func(bs, ps float64) model.Params, nodes int, target float64, jobs int) error {
+	var sels []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("designer: bad -sweep value %q: %w", f, err)
+		}
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("designer: -sweep selectivity %v out of (0,1]", v)
+		}
+		sels = append(sels, v)
+	}
+
+	type cell struct{ bs, ps float64 }
+	var cells []cell
+	for _, bs := range sels {
+		for _, ps := range sels {
+			cells = append(cells, cell{bs, ps})
+		}
+	}
+	advs, err := runner.Map(jobs, cells, func(_ int, c cell) (core.Advice, error) {
+		d := core.Designer{Base: params(c.bs, c.ps), MaxNodes: nodes}
+		return d.Recommend(target)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("design grid: %d cells, target perf %.2f, %d nodes max\n\n", len(cells), target, nodes)
+	fmt.Printf("%8s %8s  %-14s %-12s %10s %10s\n", "bsel", "psel", "recommend", "class", "perf", "energy")
+	for i, c := range cells {
+		adv := advs[i]
+		fmt.Printf("%7.0f%% %7.0f%%  %-14s %-12s %10.2f %10.2f\n",
+			c.bs*100, c.ps*100, adv.Best.Label(), adv.Class.String(),
+			adv.Best.NormPerf, adv.Best.NormEnergy)
+	}
+	return nil
 }

@@ -2,30 +2,39 @@
 //
 // Usage:
 //
-//	repro -list                 list experiment IDs
-//	repro -exp fig1a            run one experiment
-//	repro -exp all              run everything (in paper order)
-//	repro -exp fig3 -csv        emit the series as CSV instead of text
+//	repro -list                    list experiment IDs
+//	repro -exp fig1a               run one experiment
+//	repro -exp all                 run everything (in paper order)
+//	repro -exp 'fig1*,table?'      run a comma-separated list of ID globs
+//	repro -exp all -j 8            fan out over 8 workers
+//	repro -exp fig3 -csv           emit the series as CSV instead of text
+//	repro -exp all -md -o EXPERIMENTS.md   write the Markdown record
 //
-// Each experiment prints the normalized energy/performance series the
-// corresponding figure plots, an ASCII rendering of the figure, and a
-// paper-vs-measured comparison table.
+// Experiments run concurrently on a bounded worker pool (one private
+// simulation engine each); output is always printed in paper order and is
+// byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (or 'all')")
-		list = flag.Bool("list", false, "list experiment ids")
-		csv  = flag.Bool("csv", false, "emit series as CSV")
-		md   = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs or globs (or 'all')")
+		list     = flag.Bool("list", false, "list experiment ids")
+		csv      = flag.Bool("csv", false, "emit series as CSV")
+		md       = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
+		out      = flag.String("o", "", "write output to file instead of stdout")
+		workers  = flag.Int("j", 0, "parallel workers (default GOMAXPROCS)")
+		failFast = flag.Bool("fail-fast", false, "abort on first experiment failure")
+		times    = flag.Bool("times", false, "print per-experiment wall times to stderr")
 	)
 	flag.Parse()
 
@@ -36,33 +45,58 @@ func main() {
 		return
 	}
 
-	var toRun []experiments.Experiment
-	if *exp == "all" {
-		toRun = experiments.Registry()
-	} else {
-		e, err := experiments.ByID(*exp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		toRun = []experiments.Experiment{e}
+	patterns := strings.Split(*exp, ",")
+	for i := range patterns {
+		patterns[i] = strings.TrimSpace(patterns[i])
+	}
+	results, err := runner.RunIDs(patterns, runner.Options{Workers: *workers, FailFast: *failFast})
+	if results == nil && err != nil {
+		// Selection failed (unknown ID / bad glob) — nothing ran.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	for _, e := range toRun {
-		rep, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	w := os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(1)
 		}
-		switch {
-		case *csv:
-			for _, s := range rep.Series {
-				fmt.Printf("# %s\n%s\n", s.Title, s.CSV())
-			}
-		case *md:
-			fmt.Println(rep.Markdown())
-		default:
-			fmt.Println(rep.String())
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *md:
+		if werr := runner.WriteMarkdown(w, results); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
 		}
+	case *csv:
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			for _, s := range r.Report.Series {
+				fmt.Fprintf(w, "# %s\n%s\n", s.Title, s.CSV())
+			}
+		}
+	default:
+		for _, r := range results {
+			if r.Err == nil {
+				fmt.Fprintln(w, r.Report.String())
+			}
+		}
+	}
+
+	if *times {
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "%-10s %8.1f ms\n", r.Experiment.ID, float64(r.Wall.Microseconds())/1000)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

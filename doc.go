@@ -9,10 +9,12 @@
 // implements the paper's stated future work (data skew, entire
 // workloads with power management, DVFS, replication-based elasticity).
 //
-// Start with README.md for the tour, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
-// this package (bench_test.go, ablation_bench_test.go) regenerate each
-// experiment:
+// Start with README.md for the tour and system inventory, and
+// EXPERIMENTS.md for the generated paper-vs-measured record (regenerate
+// with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`). The
+// benchmarks in this package (bench_test.go, ablation_bench_test.go)
+// regenerate each experiment; the Suite pair measures the parallel
+// runner's end-to-end speedup:
 //
 //	go test -bench=. -benchmem
 package repro

@@ -94,11 +94,18 @@ func (mb *Mailbox) Recv(p *sim.Proc) (storage.Batch, bool) {
 // CPU server and artificially throttle receive rates. ok=false means all
 // senders have closed and nothing remains.
 func (mb *Mailbox) RecvMany(p *sim.Proc, max int) ([]storage.Batch, bool) {
+	return mb.RecvManyInto(p, nil, max)
+}
+
+// RecvManyInto is RecvMany with caller-supplied buffer reuse: batches are
+// appended to buf (typically buf[:0] of the previous call's result), so a
+// steady-state consumer loop allocates nothing per receive round.
+func (mb *Mailbox) RecvManyInto(p *sim.Proc, buf []storage.Batch, max int) ([]storage.Batch, bool) {
 	first, ok := mb.Recv(p)
 	if !ok {
 		return nil, false
 	}
-	out := []storage.Batch{first}
+	out := append(buf, first)
 	for len(out) < max {
 		msg, ok := mb.q.TryGet()
 		if !ok {

@@ -146,11 +146,13 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		b := b
 		node := e.C.Nodes[b]
 		e.C.Eng.Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
+			var buf []storage.Batch
 			for {
-				batches, ok := buildMB[b].RecvMany(p, 64)
+				batches, ok := buildMB[b].RecvManyInto(p, buf[:0], 64)
 				if !ok {
 					break
 				}
+				buf = batches
 				var bytes float64
 				for _, batch := range batches {
 					bytes += batch.Bytes()
@@ -192,10 +194,9 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 					case Prepartitioned:
 						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: buildMB[nd]})
 					default: // DualShuffle
-						routed := rt.route(out)
-						for _, dst := range buildNodes {
-							if sub, ok := routed[dst]; ok {
-								e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: sub, Dest: buildMB[dst]})
+						for _, rb := range rt.route(out) {
+							if !rb.skip {
+								e.C.Send(sp, cluster.Message{From: nd, To: rb.dst, Batch: rb.b, Dest: buildMB[rb.dst]})
 							}
 						}
 					}
@@ -217,11 +218,13 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		b := b
 		node := e.C.Nodes[b]
 		e.C.Eng.Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
+			var buf []storage.Batch
 			for {
-				batches, ok := probeMB[b].RecvMany(p, 64)
+				batches, ok := probeMB[b].RecvManyInto(p, buf[:0], 64)
 				if !ok {
 					break
 				}
+				buf = batches
 				var bytes float64
 				for _, batch := range batches {
 					bytes += batch.Bytes()
@@ -287,10 +290,9 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 						rr++
 						e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: out, Dest: probeMB[dst]})
 					default: // DualShuffle: route by join key.
-						routed := rt.route(out)
-						for _, dst := range buildNodes {
-							if sub, ok := routed[dst]; ok {
-								e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: sub, Dest: probeMB[dst]})
+						for _, rb := range rt.route(out) {
+							if !rb.skip {
+								e.C.Send(sp, cluster.Message{From: nd, To: rb.dst, Batch: rb.b, Dest: probeMB[rb.dst]})
 							}
 						}
 					}
@@ -370,21 +372,47 @@ type router struct {
 	dests   []int
 	weights []float64 // nil = uniform
 	acc     []float64
+
+	// Reused per-route scratch: out holds one routed sub-batch per
+	// destination slot, idx the per-destination row lists of the batch
+	// being split. Both live for the router's lifetime so the exchange
+	// hot path allocates nothing per batch (phantom runs).
+	out []routedBatch
+	idx [][]int
+}
+
+// routedBatch is one destination's share of a routed batch. Skip is set
+// when the destination receives nothing from this batch.
+type routedBatch struct {
+	dst  int
+	b    storage.Batch
+	skip bool
 }
 
 func newRouter(dests []int, weights []float64) *router {
-	return &router{dests: dests, weights: weights, acc: make([]float64, len(dests))}
+	return &router{
+		dests:   dests,
+		weights: weights,
+		acc:     make([]float64, len(dests)),
+		out:     make([]routedBatch, len(dests)),
+		idx:     make([][]int, len(dests)),
+	}
 }
 
-func (r *router) route(b storage.Batch) map[int]storage.Batch {
-	out := make(map[int]storage.Batch, len(r.dests))
+// route splits b across the router's destinations. The returned slice is
+// owned by the router and valid only until the next route call; entries
+// with skip=true carry no data for their destination.
+func (r *router) route(b storage.Batch) []routedBatch {
 	d := len(r.dests)
+	for i, dst := range r.dests {
+		r.out[i] = routedBatch{dst: dst, skip: true}
+	}
 	if d == 1 {
-		out[r.dests[0]] = b
-		return out
+		r.out[0] = routedBatch{dst: r.dests[0], b: b}
+		return r.out
 	}
 	if b.Phantom() {
-		for i, dst := range r.dests {
+		for i := range r.dests {
 			w := 1.0 / float64(d)
 			if r.weights != nil {
 				w = r.weights[i]
@@ -393,23 +421,25 @@ func (r *router) route(b storage.Batch) map[int]storage.Batch {
 			take := int(r.acc[i])
 			r.acc[i] -= float64(take)
 			if take > 0 {
-				out[dst] = storage.Batch{Rows: take, Width: b.Width}
+				r.out[i] = routedBatch{dst: r.dests[i], b: storage.Batch{Rows: take, Width: b.Width}}
 			}
 		}
-		return out
+		return r.out
 	}
 	keys := b.Cols[storage.ColKey]
-	idx := make([][]int, d)
+	for j := range r.idx {
+		r.idx[j] = r.idx[j][:0]
+	}
 	for i := 0; i < b.Rows; i++ {
 		j := int(tpch.Hash64(uint64(keys.Int64(i))) % uint64(d))
-		idx[j] = append(idx[j], i)
+		r.idx[j] = append(r.idx[j], i)
 	}
-	for j, rows := range idx {
+	for j, rows := range r.idx {
 		if len(rows) > 0 {
-			out[r.dests[j]] = storage.FilterBatch(b, rows)
+			r.out[j] = routedBatch{dst: r.dests[j], b: storage.FilterBatch(b, rows)}
 		}
 	}
-	return out
+	return r.out
 }
 
 // skewWeights returns the per-destination share of rows when join keys

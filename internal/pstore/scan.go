@@ -33,6 +33,8 @@ func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partiti
 
 	// Deterministic fractional-row accumulator for phantom filtering.
 	var acc float64
+	// Row-index scratch reused across materialized batches.
+	var idx []int
 
 	var prefetch *sim.Queue[storage.Batch]
 	if !e.cfg.WarmCache {
@@ -72,7 +74,7 @@ func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partiti
 			acc -= float64(take)
 			out = storage.Batch{Rows: take, Width: b.Width}
 		} else {
-			var idx []int
+			idx = idx[:0]
 			col := b.Cols[selIdx]
 			for r := 0; r < b.Rows; r++ {
 				if col.Int64(r) < thr {

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// WriteMarkdown renders a run as an EXPERIMENTS.md document: a header, an
+// index table of every experiment with its status, then each successful
+// report as a Markdown section (Report.Markdown). The output contains no
+// wall times or other host-dependent data, so regenerating it on an
+// unchanged tree is diff-clean.
+func WriteMarkdown(w io.Writer, results []Result) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("# EXPERIMENTS — paper vs measured\n\n")
+	pf("Regenerated tables and figures of Lang et al., *Towards\nEnergy-Efficient Database Cluster Design* (PVLDB 5(11), 2012).\n\n")
+	pf("Regenerate with:\n\n```\ngo run ./cmd/repro -exp all -md -o EXPERIMENTS.md\n```\n\n")
+	pf("| id | title | status |\n|---|---|---|\n")
+	for _, r := range results {
+		status := "ok"
+		switch {
+		case errors.Is(r.Err, ErrSkipped):
+			status = "skipped"
+		case r.Err != nil:
+			status = "error"
+		}
+		pf("| %s | %s | %s |\n", r.Experiment.ID, r.Experiment.Title, status)
+	}
+	pf("\n")
+	for _, r := range results {
+		if r.Err != nil {
+			if !errors.Is(r.Err, ErrSkipped) {
+				pf("## %s — %s\n\nFAILED: %v\n\n", r.Experiment.ID, r.Experiment.Title, r.Err)
+			}
+			continue
+		}
+		pf("%s", r.Report.Markdown())
+	}
+	return err
+}
+
+// Reports extracts the successful reports of a run, in order.
+func Reports(results []Result) []experiments.Report {
+	var out []experiments.Report
+	for _, r := range results {
+		if r.Err == nil {
+			out = append(out, r.Report)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package runner is the concurrent experiment harness: it fans the
+// experiment registry (or any ID subset) out over a bounded worker pool
+// and collects per-experiment reports, errors and wall times.
+//
+// Every experiment constructs its own private sim.Engine and cluster, so
+// experiments are embarrassingly parallel; the runner exploits that while
+// guaranteeing the output is indistinguishable from a serial run: results
+// are always returned in registry order, and each report is bit-identical
+// to what serial execution produces (asserted by TestParallelMatchesSerial).
+//
+// The runner is also the home of the EXPERIMENTS.md emitter
+// (WriteMarkdown) and of Map, the generic bounded-parallelism primitive
+// the designer CLI and the benchmark harness reuse.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// ErrSkipped marks experiments that were never started because an earlier
+// failure aborted a fail-fast run.
+var ErrSkipped = errors.New("runner: skipped after earlier failure")
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Experiment experiments.Experiment
+	Report     experiments.Report
+	Err        error
+	// Wall is host (not virtual) execution time.
+	Wall time.Duration
+}
+
+// Options configures a run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// FailFast aborts the run on the first experiment error: experiments
+	// not yet started report ErrSkipped. The default collects every error
+	// and always runs the full selection.
+	FailFast bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the given experiments on a bounded worker pool and returns
+// one Result per experiment, in input order regardless of completion
+// order. The error is nil only if every experiment succeeded; with
+// FailFast it is the first failure, otherwise the join of all failures.
+func Run(exps []experiments.Experiment, opts Options) ([]Result, error) {
+	var aborted atomic.Bool
+	results, _ := Map(opts.workers(), exps, func(_ int, e experiments.Experiment) (Result, error) {
+		if opts.FailFast && aborted.Load() {
+			return Result{Experiment: e, Err: ErrSkipped}, nil
+		}
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			err = fmt.Errorf("%s: %w", e.ID, err)
+			if opts.FailFast {
+				aborted.Store(true)
+			}
+		}
+		return Result{Experiment: e, Report: rep, Err: err, Wall: time.Since(start)}, nil
+	})
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, ErrSkipped) {
+			errs = append(errs, r.Err)
+			if opts.FailFast {
+				break
+			}
+		}
+	}
+	if opts.FailFast && len(errs) > 0 {
+		return results, errs[0]
+	}
+	return results, errors.Join(errs...)
+}
+
+// RunIDs resolves the given ID patterns (see Select) and runs the
+// selection.
+func RunIDs(patterns []string, opts Options) ([]Result, error) {
+	exps, err := Select(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Run(exps, opts)
+}
+
+// Select resolves ID patterns against the registry, preserving registry
+// (paper) order and deduplicating. A pattern is an exact experiment ID,
+// the keyword "all", or a glob in path.Match syntax ("fig*", "table?",
+// "fig1[ab]"). A pattern matching nothing is an error listing the known
+// IDs.
+func Select(patterns ...string) ([]experiments.Experiment, error) {
+	reg := experiments.Registry()
+	if len(patterns) == 0 {
+		return reg, nil
+	}
+	picked := make([]bool, len(reg))
+	for _, pat := range patterns {
+		if pat == "all" || pat == "*" {
+			for i := range picked {
+				picked[i] = true
+			}
+			continue
+		}
+		matched := false
+		for i, e := range reg {
+			ok, err := path.Match(pat, e.ID)
+			if err != nil {
+				return nil, fmt.Errorf("runner: bad pattern %q: %w", pat, err)
+			}
+			if ok {
+				picked[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			var ids []string
+			for _, e := range reg {
+				ids = append(ids, e.ID)
+			}
+			sort.Strings(ids)
+			return nil, fmt.Errorf("runner: pattern %q matches no experiment (have %s)",
+				pat, strings.Join(ids, ", "))
+		}
+	}
+	var out []experiments.Experiment
+	for i, e := range reg {
+		if picked[i] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

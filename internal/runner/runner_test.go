@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestParallelMatchesSerial is the runner's core guarantee: rendered
+// reports from a parallel run are byte-identical to serial execution.
+// The subset covers each experiment family: a config table (table1), a
+// dbms-simulated figure (fig1a), a P-store-engine figure (fig3) and the
+// model-level design walkthrough (fig12).
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := []string{"table1", "fig1a", "fig3", "fig12"}
+
+	serial, err := RunIDs(ids, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunIDs(ids, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(ids) || len(parallel) != len(ids) {
+		t.Fatalf("got %d serial / %d parallel results, want %d", len(serial), len(parallel), len(ids))
+	}
+	for i := range serial {
+		if serial[i].Experiment.ID != ids[i] || parallel[i].Experiment.ID != ids[i] {
+			t.Fatalf("result %d out of order: serial=%s parallel=%s want %s",
+				i, serial[i].Experiment.ID, parallel[i].Experiment.ID, ids[i])
+		}
+		s, p := serial[i].Report.String(), parallel[i].Report.String()
+		if s != p {
+			t.Errorf("%s: parallel report differs from serial", ids[i])
+		}
+		if sm, pm := serial[i].Report.Markdown(), parallel[i].Report.Markdown(); sm != pm {
+			t.Errorf("%s: parallel Markdown differs from serial", ids[i])
+		}
+	}
+}
+
+func TestSelectUnknownID(t *testing.T) {
+	if _, err := RunIDs([]string{"fig99"}, Options{}); err == nil {
+		t.Fatal("unknown id did not error")
+	} else if !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("error %q does not name the bad id", err)
+	}
+	if _, err := Select("tabel1"); err == nil {
+		t.Fatal("typo id did not error")
+	}
+}
+
+func TestSelectGlobs(t *testing.T) {
+	exps, err := Select("fig1*", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	// Registry order, deduplicated: table1 precedes the fig1x entries,
+	// and fig1* also matches fig10a/fig10b/fig11/fig12.
+	want := []string{"table1", "fig1a", "fig1b", "fig10a", "fig10b", "fig11", "fig12"}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Fatalf("Select globs = %v, want %v", ids, want)
+	}
+
+	all, err := Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(experiments.Registry()) {
+		t.Fatalf("Select(all) = %d experiments, want %d", len(all), len(experiments.Registry()))
+	}
+}
+
+// failing builds a synthetic registry-shaped slice with one failing entry.
+func failing(n, failAt int) []experiments.Experiment {
+	exps := make([]experiments.Experiment, n)
+	for i := range exps {
+		i := i
+		exps[i] = experiments.Experiment{
+			ID:    fmt.Sprintf("x%02d", i),
+			Title: "synthetic",
+			Run: func() (experiments.Report, error) {
+				if i == failAt {
+					return experiments.Report{}, errors.New("boom")
+				}
+				return experiments.Report{ID: fmt.Sprintf("x%02d", i)}, nil
+			},
+		}
+	}
+	return exps
+}
+
+func TestCollectAllErrors(t *testing.T) {
+	exps := failing(6, 2)
+	exps[4].Run = func() (experiments.Report, error) { return experiments.Report{}, errors.New("bang") }
+	results, err := Run(exps, Options{Workers: 3})
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "bang") {
+		t.Fatalf("collect-all error = %v, want both failures joined", err)
+	}
+	for i, r := range results {
+		if i == 2 || i == 4 {
+			if r.Err == nil {
+				t.Errorf("result %d: expected error", i)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("result %d: unexpected error %v", i, r.Err)
+		}
+	}
+}
+
+func TestFailFastSkipsRemaining(t *testing.T) {
+	// Single worker makes the skip deterministic: everything after the
+	// failing experiment must report ErrSkipped.
+	results, err := Run(failing(5, 1), Options{Workers: 1, FailFast: true})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("fail-fast error = %v, want the failure", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("result 0 ran before the failure, got error %v", results[0].Err)
+	}
+	for i := 2; i < 5; i++ {
+		if !errors.Is(results[i].Err, ErrSkipped) {
+			t.Errorf("result %d: err = %v, want ErrSkipped", i, results[i].Err)
+		}
+	}
+}
+
+func TestMapOrderAndBound(t *testing.T) {
+	var inFlight, maxInFlight atomic.Int32
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(4, items, func(_ int, v int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if m := maxInFlight.Load(); m > 4 {
+		t.Fatalf("worker bound violated: %d in flight", m)
+	}
+}
+
+func TestMapFirstErrorByInputOrder(t *testing.T) {
+	items := []int{0, 1, 2, 3}
+	_, err := Map(4, items, func(i int, v int) (int, error) {
+		if i >= 2 {
+			return 0, fmt.Errorf("fail-%d", i)
+		}
+		return v, nil
+	})
+	if err == nil || err.Error() != "fail-2" {
+		t.Fatalf("Map error = %v, want fail-2 (first by input order)", err)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	results, err := RunIDs([]string{"table1", "fig12"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteMarkdown(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	md := b.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"| table1 |", "| fig12 |",
+		"## table1 —", "## fig12 —",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md, "FAILED") {
+		t.Error("markdown reports failures for a clean run")
+	}
+}

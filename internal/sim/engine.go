@@ -20,7 +20,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -37,23 +36,61 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a concrete binary min-heap of event values ordered by
+// (at, seq). Storing events by value in one backing array — rather than
+// *event through container/heap's interface{} — removes both the
+// per-event allocation and the interface boxing on the hottest path in
+// the simulator; popped slots are reused in place, so the array acts as
+// the event pool.
+type eventHeap struct {
+	evs []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.evs[i].at != h.evs[j].at {
+		return h.evs[i].at < h.evs[j].at
+	}
+	return h.evs[i].seq < h.evs[j].seq
+}
+
+// push inserts ev, sifting it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	ev := h.evs[0]
+	n := len(h.evs) - 1
+	h.evs[0] = h.evs[n]
+	h.evs[n] = event{} // release the callback for GC
+	h.evs = h.evs[:n]
+	// Sift the displaced last element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h.evs[i], h.evs[min] = h.evs[min], h.evs[i]
+		i = min
+	}
 	return ev
 }
 
@@ -68,11 +105,10 @@ type Engine struct {
 	stepped uint64
 }
 
-// New returns a fresh simulation engine with the clock at zero.
+// New returns a fresh simulation engine with the clock at zero. The
+// event array is pre-sized so steady-state scheduling never reallocates.
 func New() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{events: eventHeap{evs: make([]event, 0, 256)}}
 }
 
 // Now returns the current virtual time in seconds.
@@ -96,16 +132,16 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: At(%v) in the past (now=%v)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the single next event. It returns false when the event
 // queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.events.evs) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
@@ -126,7 +162,7 @@ func (e *Engine) Run() {
 // exactly t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
-	for !e.halted && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.halted && len(e.events.evs) > 0 && e.events.evs[0].at <= t {
 		e.Step()
 	}
 	if !e.halted && e.now < t {
@@ -138,4 +174,4 @@ func (e *Engine) RunUntil(t Time) {
 func (e *Engine) Halt() { e.halted = true }
 
 // Idle reports whether no events remain.
-func (e *Engine) Idle() bool { return len(e.events) == 0 }
+func (e *Engine) Idle() bool { return len(e.events.evs) == 0 }

@@ -10,21 +10,53 @@ package sim
 // its input queue and stalls its producers, which is precisely the
 // behaviour behind the network bottlenecks studied in the paper.
 type Queue[T any] struct {
-	name    string
-	cap     int
-	items   []T
-	closed  bool
+	name   string
+	cap    int
+	buf    []T // ring buffer; len(buf) is the allocated ring size
+	head   int // index of the oldest item
+	n      int // number of buffered items
+	closed bool
+
 	getters []func()
 	putters []func()
 }
 
-// NewQueue creates a queue with the given capacity (0 = unbounded).
+// NewQueue creates a queue with the given capacity (0 = unbounded). The
+// ring is pre-sized to the capacity so a bounded queue never reallocates;
+// unbounded queues grow geometrically.
 func NewQueue[T any](name string, capacity int) *Queue[T] {
-	return &Queue[T]{name: name, cap: capacity}
+	q := &Queue[T]{name: name, cap: capacity}
+	if capacity > 0 {
+		q.buf = make([]T, capacity)
+	}
+	return q
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
+
+// push appends v to the ring, growing it when full (unbounded queues).
+func (q *Queue[T]) push(v T) {
+	if q.n == len(q.buf) {
+		grown := make([]T, max(2*len(q.buf), 16))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// shift removes and returns the oldest item. Caller checks q.n > 0.
+func (q *Queue[T]) shift() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -48,7 +80,7 @@ func (q *Queue[T]) wakePutters() {
 // Put appends v, blocking while the queue is full. Putting into a closed
 // queue panics (producers must be quiesced before closing).
 func (q *Queue[T]) Put(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap {
+	for q.cap > 0 && q.n >= q.cap {
 		if q.closed {
 			panic("sim: Put on closed queue " + q.name)
 		}
@@ -57,16 +89,16 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 	if q.closed {
 		panic("sim: Put on closed queue " + q.name)
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.wakeGetters()
 }
 
 // TryPut appends v without blocking; reports whether it was accepted.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+	if q.closed || (q.cap > 0 && q.n >= q.cap) {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.wakeGetters()
 	return true
 }
@@ -75,12 +107,11 @@ func (q *Queue[T]) TryPut(v T) bool {
 // when the queue is empty (buffered items remain retrievable after
 // Close).
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		var zero T
 		return zero, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.shift()
 	q.wakePutters()
 	return v, true
 }
@@ -88,15 +119,14 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 // Get removes and returns the oldest item. It blocks while the queue is
 // empty; when the queue is closed and drained it returns ok=false.
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		if q.closed {
 			var zero T
 			return zero, false
 		}
 		p.waitOn(func(wake func()) { q.getters = append(q.getters, wake) })
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.shift()
 	q.wakePutters()
 	return v, true
 }

@@ -14,22 +14,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/pstore"
 	"repro/internal/runner"
 )
 
-func benchExperiment(b *testing.B, id string, metrics func(b *testing.B, rep experiments.Report)) {
+func benchExperiment(b *testing.B, id string, metrics func(b *testing.B, rep experiments.Result)) {
 	b.Helper()
 	exps, err := runner.Select(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var rep experiments.Report
+	var rep experiments.Result
 	for i := 0; i < b.N; i++ {
 		results, err := runner.Run(exps, runner.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep = results[0].Report
+		rep = results[0].Result
 	}
 	if metrics != nil {
 		metrics(b, rep)
@@ -68,8 +69,27 @@ func benchSuite(b *testing.B, workers int) {
 func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
 func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 
+// BenchmarkSuiteCachedParallel additionally shares a memoizing join cache
+// across the suite (the cmd/repro default): identical engine joins in
+// fig3/fig4/fig5, fig6, fig7a/fig8 and fig7b/fig9 simulate once. The
+// reported hit rate is the fraction of join requests served from memory.
+func BenchmarkSuiteCachedParallel(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		cache := pstore.NewCache(nil)
+		_, err := runner.Run(experiments.Registry(),
+			runner.Options{Exp: experiments.Options{Joins: cache}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := cache.Stats()
+		hitRate = float64(s.Hits) / float64(s.Requests())
+	}
+	b.ReportMetric(hitRate, "join-cache-hit-rate")
+}
+
 // reportPair publishes one paper-vs-measured pair as benchmark metrics.
-func reportPair(b *testing.B, rep experiments.Report, metric, unit string) {
+func reportPair(b *testing.B, rep experiments.Result, metric, unit string) {
 	for _, p := range rep.Pairs {
 		if p.Metric == metric {
 			b.ReportMetric(p.Measured, unit)
@@ -79,32 +99,32 @@ func reportPair(b *testing.B, rep experiments.Report, metric, unit string) {
 }
 
 func BenchmarkTable1(b *testing.B) {
-	benchExperiment(b, "table1", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "table1", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "SysPower exponent B", "fitted-exponent")
 	})
 }
 
 func BenchmarkFig1a(b *testing.B) {
-	benchExperiment(b, "fig1a", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig1a", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "8N normalized performance", "perf-8N")
 		reportPair(b, rep, "8N normalized energy", "energy-8N")
 	})
 }
 
 func BenchmarkFig1b(b *testing.B) {
-	benchExperiment(b, "fig1b", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig1b", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "designs below EDP line (of 6 mixes)", "below-EDP")
 	})
 }
 
 func BenchmarkFig2a(b *testing.B) {
-	benchExperiment(b, "fig2a", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig2a", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "8N normalized energy", "energy-8N")
 	})
 }
 
 func BenchmarkFig2b(b *testing.B) {
-	benchExperiment(b, "fig2b", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig2b", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "8N repartition time fraction", "net-fraction")
 	})
 }
@@ -114,21 +134,21 @@ func BenchmarkHadoopDB(b *testing.B) {
 }
 
 func BenchmarkFig3(b *testing.B) {
-	benchExperiment(b, "fig3", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig3", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "1q: 4N energy", "energy-4N-1q")
 		reportPair(b, rep, "4q: 4N energy", "energy-4N-4q")
 	})
 }
 
 func BenchmarkFig4(b *testing.B) {
-	benchExperiment(b, "fig4", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig4", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "1q: 4N performance", "perf-4N")
 		reportPair(b, rep, "1q: 4N energy", "energy-4N")
 	})
 }
 
 func BenchmarkFig5(b *testing.B) {
-	benchExperiment(b, "fig5", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig5", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "shuffle: half-cluster energy", "shuffle-half")
 		reportPair(b, rep, "broadcast: half-cluster energy", "broadcast-half")
 	})
@@ -139,31 +159,31 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkFig6(b *testing.B) {
-	benchExperiment(b, "fig6", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig6", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "Laptop B (i7 620m) energy (J)", "laptopB-J")
 	})
 }
 
 func BenchmarkFig7a(b *testing.B) {
-	benchExperiment(b, "fig7a", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig7a", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "BW energy saving at L100%", "BW-saving-L100")
 	})
 }
 
 func BenchmarkFig7b(b *testing.B) {
-	benchExperiment(b, "fig7b", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig7b", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "BW energy saving at L100%", "BW-saving-L100")
 	})
 }
 
 func BenchmarkFig8(b *testing.B) {
-	benchExperiment(b, "fig8", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig8", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "max validation error (paper bound)", "max-rel-err")
 	})
 }
 
 func BenchmarkFig9(b *testing.B) {
-	benchExperiment(b, "fig9", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig9", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "max validation error (paper bound)", "max-rel-err")
 	})
 }
@@ -173,16 +193,16 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkFig10(b *testing.B) {
-	benchExperiment(b, "fig10a", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig10a", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "0B,8W normalized energy", "allwimpy-energy")
 	})
-	benchExperiment(b, "fig10b", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig10b", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "2B,6W normalized performance", "2B6W-perf")
 	})
 }
 
 func BenchmarkFig11(b *testing.B) {
-	benchExperiment(b, "fig11", func(b *testing.B, rep experiments.Report) {
+	benchExperiment(b, "fig11", func(b *testing.B, rep experiments.Result) {
 		reportPair(b, rep, "knee index at L2% (6=2B,6W)", "knee-L2")
 	})
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/power"
+	"repro/internal/report"
 	"repro/internal/runner"
 )
 
@@ -42,6 +44,7 @@ func main() {
 		warm    = flag.Bool("warm", false, "working set cached (scan at CPU rate)")
 		sweep   = flag.String("sweep", "", "comma-separated selectivities: design the full bsel x psel grid in parallel")
 		jobs    = flag.Int("j", 0, "parallel workers for -sweep (default GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit the recommendation (or grid) as structured JSON")
 	)
 	flag.Parse()
 
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := sweepGrid(*sweep, params, *nodes, *target, *jobs); err != nil {
+		if err := sweepGrid(*sweep, params, *nodes, *target, *jobs, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -67,6 +70,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		if err := writeAdviceJSON(os.Stdout, *bsel, *psel, adv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload:   ORDERS-like %g GB @ %.0f%% ⋈ LINEITEM-like %g GB @ %.0f%%\n",
@@ -91,14 +102,43 @@ func main() {
 		XLabel: "Normalized Performance", YLabel: "Normalized Energy",
 		Points: pts,
 	}
-	fmt.Print(s.Table())
+	fmt.Print(report.SeriesTable(s))
 	fmt.Println()
-	fmt.Print(s.Plot(56, 14))
+	fmt.Print(report.SeriesPlot(s, 56, 14))
+}
+
+// designCell is the structured JSON form of one recommendation.
+type designCell struct {
+	Bsel       float64 `json:"bsel"`
+	Psel       float64 `json:"psel"`
+	Class      string  `json:"class"`
+	Design     string  `json:"design"`
+	Seconds    float64 `json:"seconds"`
+	Joules     float64 `json:"joules"`
+	NormPerf   float64 `json:"norm_perf"`
+	NormEnergy float64 `json:"norm_energy"`
+	Principle  string  `json:"principle,omitempty"`
+}
+
+func toCell(bs, ps float64, adv core.Advice) designCell {
+	return designCell{
+		Bsel: bs, Psel: ps,
+		Class: adv.Class.String(), Design: adv.Best.Label(),
+		Seconds: adv.Best.Seconds, Joules: adv.Best.Joules,
+		NormPerf: adv.Best.NormPerf, NormEnergy: adv.Best.NormEnergy,
+		Principle: adv.Principle,
+	}
+}
+
+func writeAdviceJSON(w *os.File, bs, ps float64, adv core.Advice) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toCell(bs, ps, adv))
 }
 
 // sweepGrid designs every (bsel, psel) cell of the grid concurrently and
 // prints the per-cell recommendation.
-func sweepGrid(spec string, params func(bs, ps float64) model.Params, nodes int, target float64, jobs int) error {
+func sweepGrid(spec string, params func(bs, ps float64) model.Params, nodes int, target float64, jobs int, jsonOut bool) error {
 	var sels []float64
 	for _, f := range strings.Split(spec, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -124,6 +164,16 @@ func sweepGrid(spec string, params func(bs, ps float64) model.Params, nodes int,
 	})
 	if err != nil {
 		return err
+	}
+
+	if jsonOut {
+		out := make([]designCell, len(cells))
+		for i, c := range cells {
+			out[i] = toCell(c.bs, c.ps, advs[i])
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
 
 	fmt.Printf("design grid: %d cells, target perf %.2f, %d nodes max\n\n", len(cells), target, nodes)

@@ -8,33 +8,45 @@
 //	repro -exp 'fig1*,table?'      run a comma-separated list of ID globs
 //	repro -exp all -j 8            fan out over 8 workers
 //	repro -exp fig3 -csv           emit the series as CSV instead of text
+//	repro -exp fig3 -json          emit structured JSON (typed tables, no text blocks)
+//	repro -exp fig3 -sf 50         override the figure 3-5 engine scale factor
 //	repro -exp all -md -o EXPERIMENTS.md   write the Markdown record
 //
 // Experiments run concurrently on a bounded worker pool (one private
 // simulation engine each); output is always printed in paper order and is
-// byte-identical to a serial run.
+// byte-identical to a serial run. Identical engine joins are memoized
+// across experiments (fig3/fig4/fig5, fig7a/fig8, fig7b/fig9 share
+// simulations); disable with -cache=false.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/pstore"
+	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/tpch"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment IDs or globs (or 'all')")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs or globs (or 'all'); known: "+strings.Join(experiments.IDs(), " "))
 		list     = flag.Bool("list", false, "list experiment ids")
 		csv      = flag.Bool("csv", false, "emit series as CSV")
 		md       = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
+		jsonOut  = flag.Bool("json", false, "emit structured JSON (one entry per experiment)")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 		workers  = flag.Int("j", 0, "parallel workers (default GOMAXPROCS)")
 		failFast = flag.Bool("fail-fast", false, "abort on first experiment failure")
-		times    = flag.Bool("times", false, "print per-experiment wall times to stderr")
+		times    = flag.Bool("times", false, "print per-experiment wall times (and cache stats) to stderr")
+		sf       = flag.Float64("sf", 0, "TPC-H scale factor for the figure 3-5 engine runs (default 100)")
+		conc     = flag.String("conc", "", "comma-separated concurrency levels for fig3/fig4 (default 1,2,4)")
+		cache    = flag.Bool("cache", true, "memoize identical engine joins across experiments")
 	)
 	flag.Parse()
 
@@ -45,11 +57,32 @@ func main() {
 		return
 	}
 
+	if *sf < 0 {
+		fmt.Fprintf(os.Stderr, "repro: -sf must be positive (0 = default), got %v\n", *sf)
+		os.Exit(2)
+	}
+	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf)}
+	if *conc != "" {
+		for _, f := range strings.Split(*conc, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k <= 0 {
+				fmt.Fprintf(os.Stderr, "repro: bad -conc value %q\n", f)
+				os.Exit(2)
+			}
+			expOpts.Concurrency = append(expOpts.Concurrency, k)
+		}
+	}
+	var joinCache *pstore.Cache
+	if *cache {
+		joinCache = pstore.NewCache(nil)
+		expOpts.Joins = joinCache
+	}
+
 	patterns := strings.Split(*exp, ",")
 	for i := range patterns {
 		patterns[i] = strings.TrimSpace(patterns[i])
 	}
-	results, err := runner.RunIDs(patterns, runner.Options{Workers: *workers, FailFast: *failFast})
+	results, err := runner.RunIDs(patterns, runner.Options{Workers: *workers, FailFast: *failFast, Exp: expOpts})
 	if results == nil && err != nil {
 		// Selection failed (unknown ID / bad glob) — nothing ran.
 		fmt.Fprintln(os.Stderr, err)
@@ -67,32 +100,37 @@ func main() {
 		w = f
 	}
 
+	var werr error
 	switch {
 	case *md:
-		if werr := runner.WriteMarkdown(w, results); werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
-		}
+		werr = report.WriteMarkdown(w, results)
+	case *jsonOut:
+		werr = report.WriteJSON(w, results)
 	case *csv:
 		for _, r := range results {
 			if r.Err != nil {
 				continue
 			}
-			for _, s := range r.Report.Series {
-				fmt.Fprintf(w, "# %s\n%s\n", s.Title, s.CSV())
+			for _, s := range r.Result.Series {
+				fmt.Fprintf(w, "# %s\n%s\n", s.Title, report.SeriesCSV(s))
 			}
 		}
 	default:
-		for _, r := range results {
-			if r.Err == nil {
-				fmt.Fprintln(w, r.Report.String())
-			}
-		}
+		werr = report.WriteText(w, results)
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
 	}
 
 	if *times {
 		for _, r := range results {
 			fmt.Fprintf(os.Stderr, "%-10s %8.1f ms\n", r.Experiment.ID, float64(r.Wall.Microseconds())/1000)
+		}
+		if joinCache != nil {
+			s := joinCache.Stats()
+			fmt.Fprintf(os.Stderr, "join cache: %d requests, %d hits, %d engine runs\n",
+				s.Requests(), s.Hits, s.Misses)
 		}
 	}
 	if err != nil {

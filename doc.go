@@ -9,12 +9,20 @@
 // implements the paper's stated future work (data skew, entire
 // workloads with power management, DVFS, replication-based elasticity).
 //
+// Experiments are a typed API: each internal/experiments generator takes
+// an Options (scale factor, concurrency levels, injectable
+// pstore.JoinRunner) and returns a structured Result (series, typed
+// tables, paper-vs-measured pairs). internal/report renders Results as
+// text, Markdown or JSON, and a shared pstore.Cache memoizes identical
+// engine joins across experiments.
+//
 // Start with README.md for the tour and system inventory, and
 // EXPERIMENTS.md for the generated paper-vs-measured record (regenerate
-// with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`). The
-// benchmarks in this package (bench_test.go, ablation_bench_test.go)
-// regenerate each experiment; the Suite pair measures the parallel
-// runner's end-to-end speedup:
+// with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`; `-json`
+// emits the machine-readable form). The benchmarks in this package
+// (bench_test.go, ablation_bench_test.go) regenerate each experiment;
+// the Suite trio measures the parallel runner's end-to-end speedup and
+// the join cache's hit rate:
 //
 //	go test -bench=. -benchmem
 package repro

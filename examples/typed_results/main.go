@@ -1,0 +1,73 @@
+// Example typed_results walks the redesigned experiment API: run
+// experiments with parameterized Options, share one memoizing join cache
+// across them, and render the same typed Result as text, Markdown and
+// JSON — no preformatted strings anywhere in the data.
+//
+//	go run ./examples/typed_results
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/pstore"
+	"repro/internal/report"
+)
+
+func main() {
+	// One cache for the whole session: fig3 (dual shuffle at
+	// concurrency 1/2/4) and fig5 (plan summary) re-simulate the same
+	// 8N/4N shuffle joins, so fig5 starts half-warm.
+	cache := pstore.NewCache(nil)
+	opts := experiments.Options{
+		SF:    20, // keep the demo quick; ratios are scale-invariant
+		Joins: cache,
+	}
+
+	var results []experiments.Result
+	for _, id := range []string{"fig3", "fig5"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := e.Run(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	s := cache.Stats()
+	fmt.Printf("join cache: %d requests, %d served from memory, %d engine runs\n\n",
+		s.Requests(), s.Hits, s.Misses)
+
+	// The Result is data: series points and typed table cells.
+	fig5 := results[1]
+	tbl := fig5.Tables[0]
+	fmt.Printf("fig5 table %q columns: %v\n", tbl.Name, tbl.Columns)
+	for _, row := range tbl.Rows {
+		fmt.Printf("  plan %-30v energy ratio %.3f\n", row[0], row[3])
+	}
+	fmt.Println()
+
+	// The same Result renders three ways.
+	fmt.Println("--- text (terminal format) ---")
+	fmt.Print(report.TableText(tbl))
+	fmt.Println("\n--- markdown (EXPERIMENTS.md format), first lines ---")
+	lines := strings.SplitAfter(report.Markdown(fig5), "\n")
+	if len(lines) > 6 {
+		lines = lines[:6]
+	}
+	fmt.Print(strings.Join(lines, ""))
+	fmt.Println("\n--- JSON (machine-readable), truncated ---")
+	js, err := report.JSON(fig5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jsLines := strings.SplitAfter(string(js), "\n")
+	if len(jsLines) > 20 {
+		jsLines = append(jsLines[:20], "  ...\n")
+	}
+	fmt.Print(strings.Join(jsLines, ""))
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -17,9 +16,9 @@ import (
 //	(b) a bottlenecked workload     -> fewest nodes meeting the target;
 //	(c) the O10%/L2% hash join      -> a 2B,6W heterogeneous design beats
 //	    the best homogeneous design on BOTH energy and performance.
-func Fig12() (Report, error) {
+func Fig12(Options) (Result, error) {
 	const target = 0.6
-	var tables []string
+	var tables []Table
 	var pairs []metrics.Pair
 	var series []metrics.Series
 
@@ -30,10 +29,11 @@ func Fig12() (Report, error) {
 	da := core.Designer{Base: pa, MaxNodes: 8}
 	advA, err := da.Recommend(target)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	tables = append(tables, fmt.Sprintf("(a) scalable workload (O1%%/L1%%):\n    class=%s  best=%s\n    %s\n",
-		advA.Class, advA.Best.Label(), advA.Principle))
+	tables = append(tables, *NewTable("scalable", "class", "best", "principle").
+		Row("(a) scalable workload (O1%%/L1%%):\n    class=%s  best=%s\n    %s\n",
+			advA.Class.String(), advA.Best.Label(), advA.Principle))
 	pairs = append(pairs, metrics.Pair{Metric: "(a) recommended Beefy nodes", Paper: 8, Measured: float64(advA.Best.NB)})
 
 	// (b) Bottlenecked homogeneous: the O10/L10 network-bound join.
@@ -42,13 +42,14 @@ func Fig12() (Report, error) {
 	db := core.Designer{Base: pb, MaxNodes: 8}
 	advB, err := db.Recommend(target)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	tables = append(tables, fmt.Sprintf("(b) bottlenecked workload (O10%%/L10%%):\n    class=%s  best homogeneous=%s (perf %.2f, energy %.2f)\n    %s\n",
-		advB.Class, advB.BestHomogeneous.Label(), advB.BestHomogeneous.NormPerf,
-		advB.BestHomogeneous.NormEnergy, advB.Principle))
+	tables = append(tables, *NewTable("bottlenecked", "class", "best_homogeneous", "perf", "energy", "principle").
+		Row("(b) bottlenecked workload (O10%%/L10%%):\n    class=%s  best homogeneous=%s (perf %.2f, energy %.2f)\n    %s\n",
+			advB.Class.String(), advB.BestHomogeneous.Label(), advB.BestHomogeneous.NormPerf,
+			advB.BestHomogeneous.NormEnergy, advB.Principle))
 	if advB.BestHomogeneous.NB >= 8 {
-		return Report{}, fmt.Errorf("fig12(b): expected a smaller homogeneous design, got %s", advB.BestHomogeneous.Label())
+		return Result{}, fmt.Errorf("fig12(b): expected a smaller homogeneous design, got %s", advB.BestHomogeneous.Label())
 	}
 
 	// (c) Heterogeneous: the O10/L2 walkthrough of Section 6.
@@ -57,7 +58,7 @@ func Fig12() (Report, error) {
 	dc := core.Designer{Base: pc, MaxNodes: 8}
 	advC, err := dc.Recommend(target)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
 	var pts []power.Point
 	for _, c := range advC.Candidates {
@@ -69,14 +70,16 @@ func Fig12() (Report, error) {
 		XLabel: "Normalized Performance", YLabel: "Normalized Energy Consumption",
 		Points: pts,
 	})
-	var c strings.Builder
-	fmt.Fprintf(&c, "(c) heterogeneous opportunity (O10%%/L2%%), target perf >= %.1f:\n", target)
-	fmt.Fprintf(&c, "    best homogeneous: %-6s perf %.3f energy %.3f\n",
-		advC.BestHomogeneous.Label(), advC.BestHomogeneous.NormPerf, advC.BestHomogeneous.NormEnergy)
-	fmt.Fprintf(&c, "    recommended:      %-6s perf %.3f energy %.3f (heterogeneous=%v)\n",
-		advC.Best.Label(), advC.Best.NormPerf, advC.Best.NormEnergy, advC.Best.Heterogeneous)
-	fmt.Fprintf(&c, "    %s\n", advC.Principle)
-	tables = append(tables, c.String())
+	// The recommendation's heterogeneity and the principle prose render
+	// as layout (the fact itself is carried by the pairs below), so the
+	// rows stay uniform [role, design, perf, energy].
+	tables = append(tables, *NewTable("heterogeneous", "role", "design", "perf", "energy").
+		Titled(fmt.Sprintf("(c) heterogeneous opportunity (O10%%/L2%%), target perf >= %.1f:\n", target)).
+		Row("    %s: %-6s perf %.3f energy %.3f\n",
+			"best homogeneous", advC.BestHomogeneous.Label(), advC.BestHomogeneous.NormPerf, advC.BestHomogeneous.NormEnergy).
+		Row(fmt.Sprintf("    %%s:      %%-6s perf %%.3f energy %%.3f (heterogeneous=%v)\n", advC.Best.Heterogeneous),
+			"recommended", advC.Best.Label(), advC.Best.NormPerf, advC.Best.NormEnergy).
+		Footed(fmt.Sprintf("    %s\n", advC.Principle)))
 
 	pairs = append(pairs,
 		metrics.Pair{Metric: "(c) recommended Wimpy nodes > 0", Paper: 1, Measured: boolTo01(advC.Best.NW > 0)},
@@ -85,7 +88,7 @@ func Fig12() (Report, error) {
 		metrics.Pair{Metric: "(c) hetero below EDP line", Paper: 1,
 			Measured: boolTo01(advC.Best.Point().BelowEDPLine(0.01))},
 	)
-	return Report{ID: "fig12", Title: "Design principles walkthrough", Series: series,
+	return Result{ID: "fig12", Title: "Design principles walkthrough", Series: series,
 		Tables: tables, Pairs: pairs}, nil
 }
 

@@ -1,7 +1,8 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation. Each experiment returns a Report containing normalized
-// energy/performance series (rendered like the paper's figures), raw
-// tables, and paper-vs-measured comparison rows that feed EXPERIMENTS.md.
+// evaluation. Each experiment returns a typed Result containing
+// normalized energy/performance series, structured tables, and
+// paper-vs-measured comparison pairs; internal/report renders Results as
+// text, Markdown (the EXPERIMENTS.md format) or JSON.
 //
 // Experiment IDs follow the paper: table1, fig1a, fig1b, fig2a, fig2b,
 // hadoopdb, fig3, fig4, fig5, table2, fig6, fig7a, fig7b, fig8, fig9,
@@ -12,92 +13,22 @@
 // rather than the paper's 1000 to keep regeneration fast; every reported
 // quantity is a ratio between cluster designs, and all phases scale
 // linearly in data volume, so the normalized curves are scale-invariant
-// (verified by TestFig3ScaleInvariance).
+// (verified by TestFig3ScaleInvariance). Options overrides the scale
+// factor, the concurrency levels, and the join runner (inject a shared
+// *pstore.Cache to memoize identical joins across experiments).
 package experiments
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"repro/internal/metrics"
 )
-
-// Report is one regenerated experiment.
-type Report struct {
-	ID    string
-	Title string
-	// Series are figure-like normalized curves.
-	Series []metrics.Series
-	// Tables are preformatted text blocks (configuration tables, raw
-	// measurements).
-	Tables []string
-	// Pairs compare paper-reported numbers against measured ones.
-	Pairs []metrics.Pair
-}
-
-// String renders the full report as text.
-func (r Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
-	for _, t := range r.Tables {
-		b.WriteString(t)
-		b.WriteString("\n")
-	}
-	for _, s := range r.Series {
-		b.WriteString(s.Table())
-		b.WriteString("\n")
-		b.WriteString(s.Plot(56, 14))
-		b.WriteString("\n")
-	}
-	if len(r.Pairs) > 0 {
-		b.WriteString(metrics.Comparison("paper vs measured", r.Pairs))
-	}
-	return b.String()
-}
-
-// Markdown renders the report as a Markdown section (the format
-// EXPERIMENTS.md uses), with the paper-vs-measured pairs as a table.
-func (r Report) Markdown() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
-	for _, tbl := range r.Tables {
-		b.WriteString("```\n")
-		b.WriteString(tbl)
-		b.WriteString("```\n\n")
-	}
-	for _, s := range r.Series {
-		fmt.Fprintf(&b, "**%s**\n\n", s.Title)
-		b.WriteString("| design | time (s) | energy (J) | norm perf | norm energy | EDP |\n")
-		b.WriteString("|---|---|---|---|---|---|\n")
-		for _, p := range s.Points {
-			pos := "on"
-			switch {
-			case p.BelowEDPLine(0.01):
-				pos = "below"
-			case p.NormEDP() > 1.01:
-				pos = "above"
-			}
-			fmt.Fprintf(&b, "| %s | %.2f | %.0f | %.3f | %.3f | %s |\n",
-				p.Label, p.Seconds, p.Joules, p.NormPerf, p.NormEnerg, pos)
-		}
-		b.WriteString("\n")
-	}
-	if len(r.Pairs) > 0 {
-		b.WriteString("| metric | paper | measured |\n|---|---|---|\n")
-		for _, p := range r.Pairs {
-			fmt.Fprintf(&b, "| %s | %.3f | %.3f |\n", p.Metric, p.Paper, p.Measured)
-		}
-		b.WriteString("\n")
-	}
-	return b.String()
-}
 
 // Experiment couples an ID with its generator.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (Report, error)
+	Run   func(Options) (Result, error)
 }
 
 // Registry returns all experiments in paper order.
@@ -126,17 +57,27 @@ func Registry() []Experiment {
 	}
 }
 
+// IDs returns every experiment ID, sorted.
+func IDs() []string {
+	return idsOf(Registry())
+}
+
+func idsOf(reg []Experiment) []string {
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, error) {
-	for _, e := range Registry() {
+	reg := Registry()
+	for _, e := range reg {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	var ids []string
-	for _, e := range Registry() {
-		ids = append(ids, e.ID)
-	}
-	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(idsOf(reg), ", "))
 }

@@ -41,7 +41,7 @@ func TestByID(t *testing.T) {
 	}
 }
 
-func maxPairErr(t *testing.T, rep Report, tolerance float64) {
+func maxPairErr(t *testing.T, rep Result, tolerance float64) {
 	t.Helper()
 	for _, p := range rep.Pairs {
 		den := math.Max(math.Abs(p.Paper), math.Abs(p.Measured))
@@ -56,7 +56,7 @@ func maxPairErr(t *testing.T, rep Report, tolerance float64) {
 }
 
 func TestTable1RecoversPowerModel(t *testing.T) {
-	rep, err := Table1()
+	rep, err := Table1(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestTable1RecoversPowerModel(t *testing.T) {
 }
 
 func TestFig1aMatchesPaper(t *testing.T) {
-	rep, err := Fig1a()
+	rep, err := Fig1a(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestFig1aMatchesPaper(t *testing.T) {
 }
 
 func TestFig2aIdealSpeedup(t *testing.T) {
-	rep, err := Fig2a()
+	rep, err := Fig2a(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestFig2aIdealSpeedup(t *testing.T) {
 }
 
 func TestFig2bNearIdeal(t *testing.T) {
-	rep, err := Fig2b()
+	rep, err := Fig2b(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,17 +94,24 @@ func TestFig2bNearIdeal(t *testing.T) {
 }
 
 func TestHadoopDBReport(t *testing.T) {
-	rep, err := HadoopDB()
+	rep, err := HadoopDB(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Tables) == 0 || !strings.Contains(rep.Tables[len(rep.Tables)-1], "energy-efficient") {
+	if len(rep.Tables) == 0 {
 		t.Fatal("HadoopDB report missing conclusion")
+	}
+	concl := rep.Tables[len(rep.Tables)-1]
+	if concl.Name != "conclusion" || len(concl.Rows) != 1 || len(concl.Rows[0]) != 1 {
+		t.Fatalf("HadoopDB conclusion not structured: %+v", concl)
+	}
+	if !strings.Contains(concl.Layout.RowFmts[0], "energy-efficient") {
+		t.Fatal("HadoopDB conclusion layout missing the §3.2 quote")
 	}
 }
 
 func TestFig1bDesignsBelowEDP(t *testing.T) {
-	rep, err := Fig1b()
+	rep, err := Fig1b(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +122,7 @@ func TestFig1bDesignsBelowEDP(t *testing.T) {
 }
 
 func TestFig10aShape(t *testing.T) {
-	rep, err := Fig10a()
+	rep, err := Fig10a(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +138,7 @@ func TestFig10aShape(t *testing.T) {
 }
 
 func TestFig10bShape(t *testing.T) {
-	rep, err := Fig10b()
+	rep, err := Fig10b(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +160,7 @@ func TestFig10bShape(t *testing.T) {
 }
 
 func TestFig11KneeMoves(t *testing.T) {
-	rep, err := Fig11()
+	rep, err := Fig11(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +182,7 @@ func TestFig11KneeMoves(t *testing.T) {
 }
 
 func TestFig12Walkthrough(t *testing.T) {
-	rep, err := Fig12()
+	rep, err := Fig12(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,33 +194,62 @@ func TestFig12Walkthrough(t *testing.T) {
 }
 
 func TestTable2AndTable3Render(t *testing.T) {
-	for _, f := range []func() (Report, error){Table2, Table3} {
-		rep, err := f()
+	for _, f := range []func(Options) (Result, error){Table2, Table3} {
+		rep, err := f(Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rep.Tables) == 0 || len(rep.Tables[0]) < 100 {
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) < 5 {
 			t.Fatalf("%s table too short", rep.ID)
 		}
 	}
 }
 
 func TestFig6Anchors(t *testing.T) {
-	rep, err := Fig6()
+	rep, err := Fig6(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	maxPairErr(t, rep, 0.05)
 }
 
-func TestReportString(t *testing.T) {
-	rep, err := Table3()
+func TestTableStructure(t *testing.T) {
+	rep, err := Table3(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := rep.String()
-	if !strings.Contains(s, "table3") || !strings.Contains(s, "Model variables") {
-		t.Fatalf("report rendering broken:\n%s", s)
+	if len(rep.Tables) != 1 {
+		t.Fatalf("table3 has %d tables, want 1", len(rep.Tables))
+	}
+	tbl := rep.Tables[0]
+	if tbl.Name != "variables" || len(tbl.Rows) == 0 {
+		t.Fatalf("table3 structure wrong: %+v", tbl)
+	}
+	if len(tbl.Layout.RowFmts) != len(tbl.Rows) {
+		t.Fatalf("table3 has %d row layouts for %d rows", len(tbl.Layout.RowFmts), len(tbl.Rows))
+	}
+	// Cells pair each variable name with its typed value (row 0 is
+	// [N_B+N_W, M_B, <mb>, M_W, <mw>]).
+	if name, ok := tbl.Rows[0][1].(string); !ok || name != "M_B" {
+		t.Fatalf("table3 row 0 cell 1 = %#v, want \"M_B\"", tbl.Rows[0][1])
+	}
+	if v, ok := tbl.Rows[0][2].(float64); !ok || v <= 0 {
+		t.Fatalf("table3 M_B value is not a positive number: %#v", tbl.Rows[0][2])
+	}
+}
+
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Fatalf("IDs() returned %d ids for %d experiments", len(ids), len(Registry()))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs() not sorted/deduplicated at %d: %v", i, ids)
+		}
+	}
+	if _, err := ByID("nope"); err == nil || !strings.Contains(err.Error(), "fig1a") {
+		t.Fatalf("ByID error does not list known ids: %v", err)
 	}
 }
 
@@ -223,7 +259,7 @@ func TestFig3DualShuffleShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig3()
+	rep, err := Fig3(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +286,7 @@ func TestFig4BroadcastNearEDPLine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig4()
+	rep, err := Fig4(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +299,7 @@ func TestFig4BroadcastNearEDPLine(t *testing.T) {
 	if math.Abs(p4.NormEDP()-1) > 0.25 {
 		t.Errorf("broadcast 4N EDP = %.3f, want near 1 (close to the line)", p4.NormEDP())
 	}
-	fig3, err := Fig3()
+	fig3, err := Fig3(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +314,7 @@ func TestFig5Summary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig5()
+	rep, err := Fig5(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +340,7 @@ func TestFig7aBWWinsAtLowSelectivity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig7a()
+	rep, err := Fig7a(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +360,7 @@ func TestFig7bHeterogeneousSavings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig7b()
+	rep, err := Fig7b(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +370,7 @@ func TestFig7bHeterogeneousSavings(t *testing.T) {
 	// (documented deviation, EXPERIMENTS.md). The robust claim is that
 	// heterogeneous execution is near energy-neutral — an order of
 	// magnitude below the Figure 7(a) homogeneous savings.
-	repA, err := Fig7a()
+	repA, err := Fig7a(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +392,7 @@ func TestFig8ValidationError(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig8()
+	rep, err := Fig8(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +410,7 @@ func TestFig9ValidationError(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
-	rep, err := Fig9()
+	rep, err := Fig9(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,15 +451,26 @@ func TestFig3ScaleInvariance(t *testing.T) {
 
 var _ = power.Point{} // keep import if assertions change
 
-func TestReportMarkdown(t *testing.T) {
-	rep, err := Fig1b()
+// TestOptionsCustomization: a non-default scale factor and concurrency
+// sweep flow through to the engine runs (normalized ratios stay put; the
+// paper-anchored pairs are suppressed off the published levels).
+func TestOptionsCustomization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine experiment")
+	}
+	rep, err := Fig3(Options{SF: 10, Concurrency: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	md := rep.Markdown()
-	for _, want := range []string{"## fig1b", "| design |", "| 2B,6W |", "| metric | paper | measured |"} {
-		if !strings.Contains(md, want) {
-			t.Fatalf("markdown missing %q:\n%s", want, md)
+	if len(rep.Series) != 2 {
+		t.Fatalf("custom concurrency produced %d series, want 2", len(rep.Series))
+	}
+	if len(rep.Pairs) != 0 {
+		t.Fatalf("paper pairs emitted for non-default concurrency: %+v", rep.Pairs)
+	}
+	for _, s := range rep.Series {
+		if p4 := s.Points[2]; p4.NormEnerg >= 1 {
+			t.Errorf("%s: 4N energy %.3f, want < 1 even at SF 10", s.Title, p4.NormEnerg)
 		}
 	}
 }

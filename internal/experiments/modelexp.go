@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -52,7 +51,7 @@ func mixSeries(title string, base model.Params, n int) (metrics.Series, []model.
 // Fig1b regenerates Figure 1(b): modeled 8-node designs for the ORDERS
 // 10% / LINEITEM 1% join. Heterogeneous designs fall BELOW the EDP line:
 // proportionally more energy saved than performance lost.
-func Fig1b() (Report, error) {
+func Fig1b(Options) (Result, error) {
 	p := Section54Params()
 	p.Sbld, p.Sprb = 0.10, 0.01
 	s, _ := mixSeries("Modeled 8-node designs, ORDERS 10% / LINEITEM 1%", p, 8)
@@ -62,7 +61,7 @@ func Fig1b() (Report, error) {
 			below++
 		}
 	}
-	return Report{
+	return Result{
 		ID: "fig1b", Title: "Modeled Beefy/Wimpy designs below the EDP line",
 		Series: []metrics.Series{s},
 		Pairs: []metrics.Pair{
@@ -72,31 +71,30 @@ func Fig1b() (Report, error) {
 }
 
 // Table3 prints the model variables with their Table 3 values.
-func Table3() (Report, error) {
+func Table3(Options) (Result, error) {
 	p := Section54Params()
 	p.Sbld, p.Sprb = 0.10, 0.10
-	var b strings.Builder
-	fmt.Fprintf(&b, `Table 3: Model variables (Section 5.4 settings)
-  N_B+N_W   8-node designs          M_B  %6.0f MB   M_W  %6.0f MB
-  I         %6.0f MB/s             L    %6.0f MB/s
-  Bld       %6.0f MB (ORDERS)      Prb  %7.0f MB (LINEITEM)
-  C_B       %6.0f MB/s             C_W  %6.0f MB/s
-  G_B       %6.2f                  G_W  %6.2f
-  f_B(c) = 130.03*(100c)^0.2369    f_W(c) = 10.994*(100c)^0.2875
-  H = M_W >= (Bld*S_bld)/(N_B+N_W)
-`, p.MB, p.MW, p.I, p.L, p.Bld, p.Prb, p.CB, p.CW, p.GB, p.GW)
-	return Report{ID: "table3", Title: "Model variables", Tables: []string{b.String()}}, nil
+	tbl := NewTable("variables", "variable", "value", "variable", "value").
+		Titled("Table 3: Model variables (Section 5.4 settings)\n").
+		Row("  %-9s 8-node designs          %-3s  %6.0f MB   %-3s  %6.0f MB\n", "N_B+N_W", "M_B", p.MB, "M_W", p.MW).
+		Row("  %-9s %6.0f MB/s             %-4s %6.0f MB/s\n", "I", p.I, "L", p.L).
+		Row("  %-9s %6.0f MB (ORDERS)      %-4s %7.0f MB (LINEITEM)\n", "Bld", p.Bld, "Prb", p.Prb).
+		Row("  %-9s %6.0f MB/s             %-4s %6.0f MB/s\n", "C_B", p.CB, "C_W", p.CW).
+		Row("  %-9s %6.2f                  %-4s %6.2f\n", "G_B", p.GB, "G_W", p.GW).
+		Row("  %s = %s    %s = %s\n", "f_B(c)", "130.03*(100c)^0.2369", "f_W(c)", "10.994*(100c)^0.2875").
+		Row("  %s = %s\n", "H", "M_W >= (Bld*S_bld)/(N_B+N_W)")
+	return Result{ID: "table3", Title: "Model variables", Tables: []Table{*tbl}}, nil
 }
 
 // Fig10a regenerates Figure 10(a): ORDERS 1% / LINEITEM 10%, homogeneous
 // execution for every mix. Performance stays at 1.0 (the uniform I/O
 // subsystem masks the Wimpy CPUs) while energy falls ~90% at 0B,8W.
-func Fig10a() (Report, error) {
+func Fig10a(Options) (Result, error) {
 	p := Section54Params()
 	p.Sbld, p.Sprb = 0.01, 0.10
 	s, _ := mixSeries("Modeled mix sweep, ORDERS 1% / LINEITEM 10% (homogeneous)", p, 8)
 	last := s.Points[len(s.Points)-1]
-	return Report{
+	return Result{
 		ID: "fig10a", Title: "Homogeneous mix sweep", Series: []metrics.Series{s},
 		Pairs: []metrics.Pair{
 			{Metric: "0B,8W normalized performance", Paper: 1.00, Measured: last.NormPerf},
@@ -108,7 +106,7 @@ func Fig10a() (Report, error) {
 // Fig10b regenerates Figure 10(b): ORDERS 10% / LINEITEM 10%,
 // heterogeneous execution. Performance collapses (Beefy ingestion
 // saturates) while energy stays near 1.0 — no significant savings.
-func Fig10b() (Report, error) {
+func Fig10b(Options) (Result, error) {
 	p := Section54Params()
 	p.Sbld, p.Sprb = 0.10, 0.10
 	s, _ := mixSeries("Modeled mix sweep, ORDERS 10% / LINEITEM 10% (heterogeneous)", p, 8)
@@ -119,7 +117,7 @@ func Fig10b() (Report, error) {
 			minE = pt.NormEnerg
 		}
 	}
-	return Report{
+	return Result{
 		ID: "fig10b", Title: "Heterogeneous mix sweep (no savings)", Series: []metrics.Series{s},
 		Pairs: []metrics.Pair{
 			{Metric: "2B,6W normalized performance", Paper: 0.25, Measured: last.NormPerf},
@@ -131,12 +129,12 @@ func Fig10b() (Report, error) {
 // Fig11 regenerates Figure 11: ORDERS 10%, LINEITEM selectivity swept
 // from 10% to 2%. As the probe predicate tightens, the knee moves toward
 // Wimpier designs and the curves dip below the EDP line.
-func Fig11() (Report, error) {
+func Fig11(Options) (Result, error) {
 	p := Section54Params()
 	p.Sbld = 0.10
 	var series []metrics.Series
-	var b strings.Builder
-	fmt.Fprintf(&b, "Knee position (last mix retaining full probe-phase rate):\n")
+	tbl := NewTable("knees", "lineitem_sel_pct", "knee").
+		Titled("Knee position (last mix retaining full probe-phase rate):\n")
 	knees := map[float64]int{}
 	for _, l := range []float64{0.10, 0.08, 0.06, 0.04, 0.02} {
 		q := p
@@ -145,11 +143,11 @@ func Fig11() (Report, error) {
 		series = append(series, s)
 		k := model.Knee(pts, 0.05)
 		knees[l] = k
-		fmt.Fprintf(&b, "  LINEITEM %3.0f%%: knee at %s\n", l*100, pts[k].Label())
+		tbl.Row("  LINEITEM %3.0f%%: knee at %s\n", l*100, pts[k].Label())
 	}
-	return Report{
+	return Result{
 		ID: "fig11", Title: "Knee movement with probe selectivity",
-		Series: series, Tables: []string{b.String()},
+		Series: series, Tables: []Table{*tbl},
 		Pairs: []metrics.Pair{
 			{Metric: "knee index at L10% (0=8B)", Paper: 0, Measured: float64(knees[0.10])},
 			{Metric: "knee index at L2% (6=2B,6W)", Paper: 6, Measured: float64(knees[0.02])},
@@ -161,10 +159,10 @@ func Fig11() (Report, error) {
 // response time and energy of the BW cluster across LINEITEM
 // selectivities, normalized to the L=100% workload, model against
 // engine-observed, with the paper's error bound.
-func validationReport(id, title string, oSel float64, hetero bool, errBound float64) (Report, error) {
-	_, bw, _, bwJ, err := RunFig7(oSel, hetero)
+func validationReport(o Options, id, title string, oSel float64, hetero bool, errBound float64) (Result, error) {
+	_, bw, _, bwJ, err := RunFig7(o, oSel, hetero)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
 	base := ValidationParams()
 	base.Sbld = oSel
@@ -180,22 +178,22 @@ func validationReport(id, title string, oSel float64, hetero bool, errBound floa
 		p.Sprb = l
 		res, err := p.HashJoin()
 		if err != nil {
-			return Report{}, err
+			return Result{}, err
 		}
 		rows = append(rows, row{l: l,
 			obsRT: bw[l].Seconds, modRT: res.Seconds(),
 			obsE: bwJ[l], modE: res.Joules()})
 	}
 	ref := rows[len(rows)-1] // L 100%
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — normalized to LINEITEM 100%%\n", title)
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n", "LINEITEM", "obs RT", "model RT", "obs E", "model E")
+	tbl := NewTable("validation", "LINEITEM", "obs RT", "model RT", "obs E", "model E").
+		Titled(fmt.Sprintf("%s — normalized to LINEITEM 100%%\n", title)).
+		Header("%-10s %12s %12s %12s %12s\n")
 	var pairs []metrics.Pair
 	maxErr := 0.0
 	for _, r := range rows {
 		obsRT, modRT := r.obsRT/ref.obsRT, r.modRT/ref.modRT
 		obsE, modE := r.obsE/ref.obsE, r.modE/ref.modE
-		fmt.Fprintf(&b, "%9.0f%% %12.3f %12.3f %12.3f %12.3f\n", r.l*100, obsRT, modRT, obsE, modE)
+		tbl.Row("%9.0f%% %12.3f %12.3f %12.3f %12.3f\n", r.l*100, obsRT, modRT, obsE, modE)
 		for _, e := range []float64{model.RelErr(obsRT, modRT), model.RelErr(obsE, modE)} {
 			if e > maxErr {
 				maxErr = e
@@ -207,17 +205,17 @@ func validationReport(id, title string, oSel float64, hetero bool, errBound floa
 		)
 	}
 	pairs = append(pairs, metrics.Pair{Metric: "max validation error (paper bound)", Paper: errBound, Measured: maxErr})
-	return Report{ID: id, Title: title, Tables: []string{b.String()}, Pairs: pairs}, nil
+	return Result{ID: id, Title: title, Tables: []Table{*tbl}, Pairs: pairs}, nil
 }
 
 // Fig8 regenerates Figure 8: model validation for the homogeneous
 // ORDERS 1% workloads (paper: within 5% of observed).
-func Fig8() (Report, error) {
-	return validationReport("fig8", "Model validation, ORDERS 1% (homogeneous)", 0.01, false, 0.05)
+func Fig8(o Options) (Result, error) {
+	return validationReport(o, "fig8", "Model validation, ORDERS 1% (homogeneous)", 0.01, false, 0.05)
 }
 
 // Fig9 regenerates Figure 9: model validation for the heterogeneous
 // ORDERS 10% workloads (paper: within 10%).
-func Fig9() (Report, error) {
-	return validationReport("fig9", "Model validation, ORDERS 10% (heterogeneous)", 0.10, true, 0.10)
+func Fig9(o Options) (Result, error) {
+	return validationReport(o, "fig9", "Model validation, ORDERS 10% (heterogeneous)", 0.10, true, 0.10)
 }

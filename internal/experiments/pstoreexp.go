@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/hw"
@@ -13,9 +12,9 @@ import (
 	"repro/internal/workload"
 )
 
-// Fig35SF is the scale factor used for the Figure 3-5 engine runs
+// Fig35SF is the default scale factor for the Figure 3-5 engine runs
 // (the paper used 1000; normalized curves are scale-invariant, see the
-// package comment).
+// package comment). Override with Options.SF.
 const Fig35SF = tpch.ScaleFactor(100)
 
 func engineCfg() pstore.Config {
@@ -25,16 +24,16 @@ func engineCfg() pstore.Config {
 // runSizes runs the given join spec at each cluster size and concurrency
 // level, returning one normalized series per concurrency level (the
 // paper's subfigures (a)-(c)).
-func runSizes(title string, mkSpec func() pstore.JoinSpec, sizes []int, concs []int, spec hw.Spec) ([]metrics.Series, error) {
+func runSizes(o Options, title string, mkSpec func() pstore.JoinSpec, sizes []int, spec hw.Spec) ([]metrics.Series, error) {
 	var out []metrics.Series
-	for _, k := range concs {
+	for _, k := range o.Concurrency {
 		var pts []power.Point
 		for _, n := range sizes {
 			c, err := cluster.New(cluster.Homogeneous(n, spec))
 			if err != nil {
 				return nil, err
 			}
-			makespan, _, joules, err := pstore.RunConcurrent(c, engineCfg(), mkSpec(), k)
+			makespan, _, joules, err := o.Joins.RunConcurrent(c, engineCfg(), mkSpec(), k)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d k=%d: %w", title, n, k, err)
 			}
@@ -57,54 +56,63 @@ func runSizes(title string, mkSpec func() pstore.JoinSpec, sizes []int, concs []
 // nodes at concurrency 1, 2, 4. Smaller clusters always consume less
 // energy, and the savings grow with concurrency — but points stay above
 // the EDP line.
-func Fig3() (Report, error) {
-	series, err := runSizes("P-store dual-shuffle Q3 join",
-		func() pstore.JoinSpec { return workload.Q3Join(Fig35SF, 0.05, 0.05, pstore.DualShuffle) },
-		[]int{8, 6, 4}, []int{1, 2, 4}, hw.ClusterV())
+func Fig3(o Options) (Result, error) {
+	o = o.withDefaults()
+	series, err := runSizes(o, "P-store dual-shuffle Q3 join",
+		func() pstore.JoinSpec { return workload.Q3Join(o.SF, 0.05, 0.05, pstore.DualShuffle) },
+		[]int{8, 6, 4}, hw.ClusterV())
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	pairs := []metrics.Pair{
-		{Metric: "1q: 4N performance", Paper: 0.62, Measured: series[0].Points[2].NormPerf},
-		{Metric: "1q: 4N energy", Paper: 0.80, Measured: series[0].Points[2].NormEnerg},
-		{Metric: "2q: 4N energy", Paper: 0.77, Measured: series[1].Points[2].NormEnerg},
-		{Metric: "4q: 4N energy", Paper: 0.76, Measured: series[2].Points[2].NormEnerg},
+	var pairs []metrics.Pair
+	if o.defaultConcurrency() {
+		pairs = []metrics.Pair{
+			{Metric: "1q: 4N performance", Paper: 0.62, Measured: series[0].Points[2].NormPerf},
+			{Metric: "1q: 4N energy", Paper: 0.80, Measured: series[0].Points[2].NormEnerg},
+			{Metric: "2q: 4N energy", Paper: 0.77, Measured: series[1].Points[2].NormEnerg},
+			{Metric: "4q: 4N energy", Paper: 0.76, Measured: series[2].Points[2].NormEnerg},
+		}
 	}
-	return Report{ID: "fig3", Title: "P-store dual-shuffle join", Series: series, Pairs: pairs}, nil
+	return Result{ID: "fig3", Title: "P-store dual-shuffle join", Series: series, Pairs: pairs}, nil
 }
 
 // Fig4 regenerates Figure 4: the broadcast variant (ORDERS selectivity
 // tightened to 1% so the full hash table fits on every node). Points lie
 // ON the EDP line: the broadcast phase does not speed up with more nodes.
-func Fig4() (Report, error) {
-	series, err := runSizes("P-store broadcast Q3 join",
-		func() pstore.JoinSpec { return workload.Q3Join(Fig35SF, 0.01, 0.05, pstore.Broadcast) },
-		[]int{8, 6, 4}, []int{1, 2, 4}, hw.ClusterV())
+func Fig4(o Options) (Result, error) {
+	o = o.withDefaults()
+	series, err := runSizes(o, "P-store broadcast Q3 join",
+		func() pstore.JoinSpec { return workload.Q3Join(o.SF, 0.01, 0.05, pstore.Broadcast) },
+		[]int{8, 6, 4}, hw.ClusterV())
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	pairs := []metrics.Pair{
-		{Metric: "1q: 4N performance", Paper: 0.68, Measured: series[0].Points[2].NormPerf},
-		{Metric: "1q: 4N energy", Paper: 0.72, Measured: series[0].Points[2].NormEnerg},
+	var pairs []metrics.Pair
+	if o.defaultConcurrency() {
+		pairs = []metrics.Pair{
+			{Metric: "1q: 4N performance", Paper: 0.68, Measured: series[0].Points[2].NormPerf},
+			{Metric: "1q: 4N energy", Paper: 0.72, Measured: series[0].Points[2].NormEnerg},
+		}
 	}
-	return Report{ID: "fig4", Title: "P-store broadcast join", Series: series, Pairs: pairs}, nil
+	return Result{ID: "fig4", Title: "P-store broadcast join", Series: series, Pairs: pairs}, nil
 }
 
 // Fig5 regenerates Figure 5: half-cluster (4N) vs full-cluster (8N)
 // energy for the three physical plans. Shuffle and broadcast joins save
 // energy at half size; the perfectly partitioned plan is unchanged.
-func Fig5() (Report, error) {
+func Fig5(o Options) (Result, error) {
+	o = o.withDefaults()
 	type plan struct {
 		name string
 		mk   func() pstore.JoinSpec
 	}
 	plans := []plan{
-		{"shuffle both tables", func() pstore.JoinSpec { return workload.Q3Join(Fig35SF, 0.05, 0.05, pstore.DualShuffle) }},
-		{"broadcast small table", func() pstore.JoinSpec { return workload.Q3Join(Fig35SF, 0.01, 0.05, pstore.Broadcast) }},
-		{"prepartitioned (no network)", func() pstore.JoinSpec { return workload.Q3JoinPrepartitioned(Fig35SF, 0.05, 0.05) }},
+		{"shuffle both tables", func() pstore.JoinSpec { return workload.Q3Join(o.SF, 0.05, 0.05, pstore.DualShuffle) }},
+		{"broadcast small table", func() pstore.JoinSpec { return workload.Q3Join(o.SF, 0.01, 0.05, pstore.Broadcast) }},
+		{"prepartitioned (no network)", func() pstore.JoinSpec { return workload.Q3JoinPrepartitioned(o.SF, 0.05, 0.05) }},
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %12s %12s %14s %12s\n", "plan", "8N time(s)", "4N time(s)", "energy ratio", "perf ratio")
+	tbl := NewTable("summary", "plan", "8N time(s)", "4N time(s)", "energy ratio", "perf ratio").
+		Header("%-28s %12s %12s %14s %12s\n")
 	var pairs []metrics.Pair
 	var series []metrics.Series
 	for _, pl := range plans {
@@ -112,21 +120,21 @@ func Fig5() (Report, error) {
 		for _, n := range []int{8, 4} {
 			c, err := cluster.New(cluster.Homogeneous(n, hw.ClusterV()))
 			if err != nil {
-				return Report{}, err
+				return Result{}, err
 			}
-			res, joules, err := pstore.RunJoin(c, engineCfg(), pl.mk())
+			res, joules, err := o.Joins.RunJoin(c, engineCfg(), pl.mk())
 			if err != nil {
-				return Report{}, fmt.Errorf("%s n=%d: %w", pl.name, n, err)
+				return Result{}, fmt.Errorf("%s n=%d: %w", pl.name, n, err)
 			}
 			pts = append(pts, power.Point{Label: fmt.Sprintf("%dN", n), Seconds: res.Seconds, Joules: joules})
 		}
 		s, err := metrics.NewSeries("Fig 5 — "+pl.name, pts, "8N")
 		if err != nil {
-			return Report{}, err
+			return Result{}, err
 		}
 		series = append(series, s)
 		half := s.Points[1]
-		fmt.Fprintf(&b, "%-28s %12.1f %12.1f %14.3f %12.3f\n",
+		tbl.Row("%-28s %12.1f %12.1f %14.3f %12.3f\n",
 			pl.name, s.Points[0].Seconds, half.Seconds, half.NormEnerg, half.NormPerf)
 		switch pl.name {
 		case "shuffle both tables":
@@ -137,29 +145,30 @@ func Fig5() (Report, error) {
 			pairs = append(pairs, metrics.Pair{Metric: "prepartitioned: half-cluster energy", Paper: 1.00, Measured: half.NormEnerg})
 		}
 	}
-	return Report{ID: "fig5", Title: "Join plan summary: half vs full cluster",
-		Series: series, Tables: []string{b.String()}, Pairs: pairs}, nil
+	return Result{ID: "fig5", Title: "Join plan summary: half vs full cluster",
+		Series: series, Tables: []Table{*tbl}, Pairs: pairs}, nil
 }
 
 // Table2 prints the single-node hardware configurations.
-func Table2() (Report, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 2: Hardware configuration of different systems\n")
-	fmt.Fprintf(&b, "%-26s %-18s %8s %12s\n", "System", "CPU (cores/thr)", "RAM", "Idle Power")
+func Table2(Options) (Result, error) {
+	tbl := NewTable("hardware", "System", "CPU (cores/thr)", "RAM", "Idle Power").
+		Titled("Table 2: Hardware configuration of different systems\n").
+		Header("%-26s %-18s %8s %12s\n")
 	for _, s := range []hw.Spec{hw.WorkstationA(), hw.WorkstationB(), hw.DesktopAtom(), hw.LaptopA(), hw.LaptopBMicro()} {
-		fmt.Fprintf(&b, "%-26s (%d/%d) %17s %5.0f GB %8.0f W\n",
+		tbl.Row("%-26s (%d/%d) %17s %5.0f GB %8.0f W\n",
 			s.Name, s.Cores, s.Threads, "", s.MemoryMB/1000, s.IdleWatts)
 	}
-	return Report{ID: "table2", Title: "Single-node system configurations", Tables: []string{b.String()}}, nil
+	return Result{ID: "table2", Title: "Single-node system configurations", Tables: []Table{*tbl}}, nil
 }
 
 // Fig6 regenerates Figure 6: the single-node in-memory hash join (0.1M x
 // 20M 100-byte tuples) on the five Table 2 systems. Laptop B consumes the
 // least energy even though the workstations are faster.
-func Fig6() (Report, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 6: single-node hash join (0.1M x 20M rows, 100 B tuples)\n")
-	fmt.Fprintf(&b, "%-26s %14s %14s\n", "System", "time (s)", "energy (J)")
+func Fig6(o Options) (Result, error) {
+	o = o.withDefaults()
+	tbl := NewTable("microbench", "System", "time (s)", "energy (J)").
+		Titled("Figure 6: single-node hash join (0.1M x 20M rows, 100 B tuples)\n").
+		Header("%-26s %14s %14s\n")
 	var pairs []metrics.Pair
 	anchors := map[string][2]float64{
 		hw.WorkstationA().Name: {13, 1300},
@@ -169,28 +178,29 @@ func Fig6() (Report, error) {
 		hw.LaptopBMicro().Name: {25, 800},
 	}
 	for _, s := range hw.MicrobenchSystems() {
-		sec, j, err := workload.RunMicrobench(s)
+		sec, j, err := workload.RunMicrobenchOn(o.Joins, s)
 		if err != nil {
-			return Report{}, err
+			return Result{}, err
 		}
-		fmt.Fprintf(&b, "%-26s %14.1f %14.0f\n", s.Name, sec, j)
+		tbl.Row("%-26s %14.1f %14.0f\n", s.Name, sec, j)
 		a := anchors[s.Name]
 		pairs = append(pairs,
 			metrics.Pair{Metric: s.Name + " time (s)", Paper: a[0], Measured: sec},
 			metrics.Pair{Metric: s.Name + " energy (J)", Paper: a[1], Measured: j},
 		)
 	}
-	return Report{ID: "fig6", Title: "Single-node hash join energy", Tables: []string{b.String()}, Pairs: pairs}, nil
+	return Result{ID: "fig6", Title: "Single-node hash join energy", Tables: []Table{*tbl}, Pairs: pairs}, nil
 }
 
-// fig7Workloads enumerates the eight §5.2 workloads for one ORDERS
-// selectivity: LINEITEM at 1, 10, 50, 100%.
+// fig7LSels enumerates the §5.2 workloads for one ORDERS selectivity:
+// LINEITEM at 1, 10, 50, 100%.
 var fig7LSels = []float64{0.01, 0.10, 0.50, 1.00}
 
 // RunFig7 executes the SF400 dual-shuffle joins on the all-Beefy (AB) and
-// 2-Beefy/2-Wimpy (BW) clusters. hetero selects heterogeneous execution
-// for the BW cluster (ORDERS 10% regime).
-func RunFig7(oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, abJ, bwJ map[float64]float64, err error) {
+// 2-Beefy/2-Wimpy (BW) clusters through o.Joins. hetero selects
+// heterogeneous execution for the BW cluster (ORDERS 10% regime).
+func RunFig7(o Options, oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, abJ, bwJ map[float64]float64, err error) {
+	o = o.withDefaults()
 	ab, bw = map[float64]pstore.JoinResult{}, map[float64]pstore.JoinResult{}
 	abJ, bwJ = map[float64]float64{}, map[float64]float64{}
 	for _, lSel := range fig7LSels {
@@ -198,7 +208,7 @@ func RunFig7(oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, a
 		if e != nil {
 			return nil, nil, nil, nil, e
 		}
-		res, joules, e := pstore.RunJoin(cAB, engineCfg(), workload.Q3Join(400, oSel, lSel, pstore.DualShuffle))
+		res, joules, e := o.Joins.RunJoin(cAB, engineCfg(), workload.Q3Join(400, oSel, lSel, pstore.DualShuffle))
 		if e != nil {
 			return nil, nil, nil, nil, fmt.Errorf("AB O%v/L%v: %w", oSel, lSel, e)
 		}
@@ -212,7 +222,7 @@ func RunFig7(oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, a
 		if hetero {
 			spec.BuildNodes = []int{0, 1}
 		}
-		res, joules, e = pstore.RunJoin(cBW, engineCfg(), spec)
+		res, joules, e = o.Joins.RunJoin(cBW, engineCfg(), spec)
 		if e != nil {
 			return nil, nil, nil, nil, fmt.Errorf("BW O%v/L%v: %w", oSel, lSel, e)
 		}
@@ -221,18 +231,18 @@ func RunFig7(oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, a
 	return ab, bw, abJ, bwJ, nil
 }
 
-func fig7Report(id, title string, oSel float64, hetero bool, paperSavings map[float64]float64) (Report, error) {
-	ab, bw, abJ, bwJ, err := RunFig7(oSel, hetero)
+func fig7Report(o Options, id, title string, oSel float64, hetero bool, paperSavings map[float64]float64) (Result, error) {
+	ab, bw, abJ, bwJ, err := RunFig7(o, oSel, hetero)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s (SF 400, dual shuffle)\n", title)
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %12s\n", "LINEITEM", "AB time(s)", "AB kJ", "BW time(s)", "BW kJ", "BW saving")
+	tbl := NewTable("ab_vs_bw", "LINEITEM", "AB time(s)", "AB kJ", "BW time(s)", "BW kJ", "BW saving").
+		Titled(fmt.Sprintf("%s (SF 400, dual shuffle)\n", title)).
+		Header("%-10s %12s %12s %12s %12s %12s\n")
 	var pairs []metrics.Pair
 	for _, l := range fig7LSels {
 		saving := 1 - bwJ[l]/abJ[l]
-		fmt.Fprintf(&b, "%9.0f%% %12.1f %12.1f %12.1f %12.1f %11.0f%%\n",
+		tbl.Row("%9.0f%% %12.1f %12.1f %12.1f %12.1f %11.0f%%\n",
 			l*100, ab[l].Seconds, abJ[l]/1000, bw[l].Seconds, bwJ[l]/1000, saving*100)
 		if want, ok := paperSavings[l]; ok {
 			pairs = append(pairs, metrics.Pair{
@@ -241,20 +251,20 @@ func fig7Report(id, title string, oSel float64, hetero bool, paperSavings map[fl
 			})
 		}
 	}
-	return Report{ID: id, Title: title, Tables: []string{b.String()}, Pairs: pairs}, nil
+	return Result{ID: id, Title: title, Tables: []Table{*tbl}, Pairs: pairs}, nil
 }
 
 // Fig7a regenerates Figure 7(a): ORDERS 1%, homogeneous execution. The
 // BW cluster wins at unselective LINEITEM predicates (50%, 100%) and
 // loses when the scan-rate of the Wimpy nodes is the bottleneck (1%).
-func Fig7a() (Report, error) {
-	return fig7Report("fig7a", "AB vs BW clusters, ORDERS 1% (homogeneous)", 0.01, false,
+func Fig7a(o Options) (Result, error) {
+	return fig7Report(o, "fig7a", "AB vs BW clusters, ORDERS 1% (homogeneous)", 0.01, false,
 		map[float64]float64{0.50: 0.43, 1.00: 0.56})
 }
 
 // Fig7b regenerates Figure 7(b): ORDERS 10%, heterogeneous execution
 // (Wimpy nodes scan/filter only). BW saves 7%/13% at L 50%/100%.
-func Fig7b() (Report, error) {
-	return fig7Report("fig7b", "AB vs BW clusters, ORDERS 10% (heterogeneous)", 0.10, true,
+func Fig7b(o Options) (Result, error) {
+	return fig7Report(o, "fig7b", "AB vs BW clusters, ORDERS 10% (heterogeneous)", 0.10, true,
 		map[float64]float64{0.50: 0.07, 1.00: 0.13})
 }

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/pstore"
+	"repro/internal/tpch"
+)
+
+// Options parameterizes a single experiment run. The zero value
+// reproduces the paper's published configuration.
+type Options struct {
+	// SF is the TPC-H scale factor for the Figure 3-5 engine runs
+	// (default Fig35SF = 100; the paper used 1000). Every reported
+	// quantity is a normalized ratio between cluster designs, so the
+	// curves are scale-invariant (TestFig3ScaleInvariance). The
+	// Figure 6-9 experiments are anchored to the paper's §5.2/§5.3
+	// setups and ignore SF.
+	SF tpch.ScaleFactor
+	// Concurrency lists the simultaneous-query levels of the Figure 3/4
+	// sweeps (default 1, 2, 4 — the paper's). Paper-vs-measured pairs
+	// are emitted only for the default levels.
+	Concurrency []int
+	// Joins executes P-store joins. Inject a shared *pstore.Cache to
+	// memoize identical (cluster, Config, JoinSpec, concurrency) runs
+	// across experiments — fig3/fig4/fig5, fig7a/fig8 and fig7b/fig9
+	// re-simulate the same joins. Default: pstore.Engine{} (uncached).
+	Joins pstore.JoinRunner
+}
+
+func (o Options) withDefaults() Options {
+	if o.SF <= 0 {
+		o.SF = Fig35SF
+	}
+	if len(o.Concurrency) == 0 {
+		o.Concurrency = []int{1, 2, 4}
+	}
+	if o.Joins == nil {
+		o.Joins = pstore.Engine{}
+	}
+	return o
+}
+
+// defaultConcurrency reports whether the Figure 3/4 sweeps run at the
+// paper's levels, which is what the published comparison pairs anchor to.
+func (o Options) defaultConcurrency() bool {
+	if len(o.Concurrency) != 3 {
+		return false
+	}
+	return o.Concurrency[0] == 1 && o.Concurrency[1] == 2 && o.Concurrency[2] == 4
+}
+
+// Result is one regenerated experiment as structured data: normalized
+// series, typed tables and paper-vs-measured pairs. Rendering (text,
+// Markdown, JSON) lives in internal/report, so downstream tools — the
+// cache layer, the EXPERIMENTS.md emitter, JSON consumers — work with
+// numbers instead of re-parsing preformatted text.
+type Result struct {
+	ID    string
+	Title string
+	// Series are figure-like normalized curves.
+	Series []metrics.Series
+	// Tables are structured tables (configuration blocks, raw
+	// measurement grids).
+	Tables []Table
+	// Pairs compare paper-reported numbers against measured ones.
+	Pairs []metrics.Pair
+}
+
+// Table is one structured experiment table: named, typed cells plus the
+// printf layout that reproduces the paper artifact's text byte-for-byte.
+// Structured emitters (JSON) read Name/Columns/Rows and ignore the
+// layout; the text emitter applies Layout verbatim.
+type Table struct {
+	// Name identifies the table within its experiment ("configuration",
+	// "summary", "knees", ...).
+	Name string
+	// Columns names the cells of each row. Free-form tables (key-value
+	// configuration blocks) use a repeating field/value convention.
+	Columns []string
+	// Rows holds the typed cells: string labels and float64/int
+	// measurements, one slice per row.
+	Rows [][]any
+
+	Layout Layout
+}
+
+// Layout is the text-rendering recipe of a Table. Title and Footer are
+// printed verbatim (before and after the grid), HeaderFmt is a printf
+// layout applied to Columns, and RowFmts[i] is the printf layout applied
+// to Rows[i]; all include their own trailing newlines. Structured
+// emitters ignore it entirely.
+type Layout struct {
+	Title     string
+	HeaderFmt string
+	RowFmts   []string
+	Footer    string
+}
+
+// NewTable starts a table with the given name and column names.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// Titled sets the verbatim preamble line(s) and returns the table.
+func (t *Table) Titled(title string) *Table {
+	t.Layout.Title = title
+	return t
+}
+
+// Header sets the printf layout rendering Columns as the header line.
+func (t *Table) Header(format string) *Table {
+	t.Layout.HeaderFmt = format
+	return t
+}
+
+// Row appends one row of typed cells with the printf layout that
+// renders it.
+func (t *Table) Row(format string, cells ...any) *Table {
+	t.Layout.RowFmts = append(t.Layout.RowFmts, format)
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// Footed sets the verbatim trailing line(s) and returns the table.
+func (t *Table) Footed(footer string) *Table {
+	t.Layout.Footer = footer
+	return t
+}

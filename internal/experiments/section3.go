@@ -15,7 +15,7 @@ import (
 // levels, read the (simulated) iLO2 meter, fit exponential/power/log
 // regressions, and pick the best R² — recovering the paper's published
 // SysPower = 130.03*C^0.2369.
-func Table1() (Report, error) {
+func Table1(Options) (Result, error) {
 	spec := hw.ClusterV()
 	truth := spec.Power
 	levels := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
@@ -40,21 +40,22 @@ func Table1() (Report, error) {
 	})
 	fit, err := power.FitBest(samples)
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	tbl := fmt.Sprintf(`Table 1: Cluster-V Configuration
-  DBMS         Vertica (simulated as plan-stage profiles)
-  # nodes      16          RAM      %d GB
-  TPC-H size   1 TB (SF 1000)
-  CPU          Intel X5550 2 sockets (%d cores / %d threads)
-  Disk         %g MB/s     Network  %g MB/s (1 Gb/s)
-  SysPower     published 130.03*C^0.2369
-  refit        %s
-`, int(spec.MemoryMB/1000), spec.Cores, spec.Threads, spec.DiskMBps, spec.NetMBps, fit.Describe())
+	tbl := NewTable("configuration", "field", "value").
+		Titled("Table 1: Cluster-V Configuration\n").
+		Row("  %-12s %s\n", "DBMS", "Vertica (simulated as plan-stage profiles)").
+		Row("  %-12s %-11d %-8s %d GB\n", "# nodes", 16, "RAM", int(spec.MemoryMB/1000)).
+		Row("  %-12s %s\n", "TPC-H size", "1 TB (SF 1000)").
+		Row("  %-12s %s (%[4]d %[3]s / %[6]d %[5]s)\n",
+			"CPU", "Intel X5550 2 sockets", "cores", spec.Cores, "threads", spec.Threads).
+		Row("  %-12s %g MB/s     %-8s %g MB/s (1 Gb/s)\n", "Disk", spec.DiskMBps, "Network", spec.NetMBps).
+		Row("  %-12s %s\n", "SysPower", "published 130.03*C^0.2369").
+		Row("  %-12s %s\n", "refit", fit.Describe())
 	pl, _ := fit.Model.(power.PowerLaw)
-	return Report{
+	return Result{
 		ID: "table1", Title: "Cluster-V configuration and SysPower model",
-		Tables: []string{tbl},
+		Tables: []Table{*tbl},
 		Pairs: []metrics.Pair{
 			{Metric: "SysPower coefficient A", Paper: 130.03, Measured: pl.A},
 			{Metric: "SysPower exponent B", Paper: 0.2369, Measured: pl.B},
@@ -64,11 +65,11 @@ func Table1() (Report, error) {
 }
 
 // verticaSweep runs a size sweep and builds the normalized series.
-func verticaSweep(id, title string, q dbms.Query, paperPairs func(map[int]dbms.Result) []metrics.Pair) (Report, error) {
+func verticaSweep(id, title string, q dbms.Query, paperPairs func(map[int]dbms.Result) []metrics.Pair) (Result, error) {
 	sizes := []int{16, 14, 12, 10, 8}
 	res, err := dbms.SizeSweep(q, sizes, hw.ClusterV())
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
 	var pts []power.Point
 	for _, n := range sizes {
@@ -80,9 +81,9 @@ func verticaSweep(id, title string, q dbms.Query, paperPairs func(map[int]dbms.R
 	}
 	series, err := metrics.NewSeries(title, pts, "16N")
 	if err != nil {
-		return Report{}, err
+		return Result{}, err
 	}
-	rep := Report{ID: id, Title: title, Series: []metrics.Series{series}}
+	rep := Result{ID: id, Title: title, Series: []metrics.Series{series}}
 	if paperPairs != nil {
 		rep.Pairs = paperPairs(res)
 	}
@@ -92,7 +93,7 @@ func verticaSweep(id, title string, q dbms.Query, paperPairs func(map[int]dbms.R
 // Fig1a regenerates Figure 1(a): Vertica TPC-H Q12 at SF1000, cluster
 // sizes 16 down to 8, energy vs performance relative to 16N. All points
 // lie above the constant-EDP line.
-func Fig1a() (Report, error) {
+func Fig1a(Options) (Result, error) {
 	q := dbms.VerticaQ12()
 	return verticaSweep("fig1a", "Vertica TPC-H Q12 (SF1000)", q,
 		func(res map[int]dbms.Result) []metrics.Pair {
@@ -113,7 +114,7 @@ func Fig1a() (Report, error) {
 
 // Fig2a regenerates Figure 2(a): Vertica TPC-H Q1 — ideal speedup and
 // flat energy.
-func Fig2a() (Report, error) {
+func Fig2a(Options) (Result, error) {
 	return verticaSweep("fig2a", "Vertica TPC-H Q1 (SF1000)", dbms.VerticaQ1(),
 		func(res map[int]dbms.Result) []metrics.Pair {
 			return []metrics.Pair{
@@ -125,7 +126,7 @@ func Fig2a() (Report, error) {
 
 // Fig2b regenerates Figure 2(b): Vertica TPC-H Q21 — 5.5% repartitioning,
 // near-ideal speedup.
-func Fig2b() (Report, error) {
+func Fig2b(Options) (Result, error) {
 	q := dbms.VerticaQ21()
 	return verticaSweep("fig2b", "Vertica TPC-H Q21 (SF1000)", q,
 		func(res map[int]dbms.Result) []metrics.Pair {
@@ -140,7 +141,7 @@ func Fig2b() (Report, error) {
 // HadoopDB regenerates the Section 3.2 observation (numbers were omitted
 // from the paper): Hadoop's per-job coordination overhead means the best
 // performing cluster is not the most energy-efficient.
-func HadoopDB() (Report, error) {
+func HadoopDB(Options) (Result, error) {
 	rep, err := verticaSweep("hadoopdb", "HadoopDB TPC-H Q1 (SF1000)", dbms.HadoopDBQ1(), nil)
 	if err != nil {
 		return rep, err
@@ -151,7 +152,7 @@ func HadoopDB() (Report, error) {
 			best = p
 		}
 	}
-	rep.Tables = append(rep.Tables, fmt.Sprintf(
-		"Most energy-efficient size: %s (16N is fastest) — \"the best performing cluster\nis not always the most energy-efficient\" (§3.2).\n", best.Label))
+	rep.Tables = append(rep.Tables, *NewTable("conclusion", "most_energy_efficient_size").
+		Row("Most energy-efficient size: %s (16N is fastest) — \"the best performing cluster\nis not always the most energy-efficient\" (§3.2).\n", best.Label))
 	return rep, nil
 }

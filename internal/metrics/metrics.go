@@ -1,14 +1,15 @@
-// Package metrics renders experiment results the way the paper reports
-// them: normalized energy-vs-performance series with a constant-EDP
-// reference line, plain-text tables, CSV output, and compact ASCII
-// scatter plots for terminal inspection.
+// Package metrics holds the structured measurement types of the
+// reproduction: normalized energy-vs-performance series (the paper's
+// figure data) and paper-vs-measured comparison pairs. Rendering —
+// text tables, ASCII scatter plots, CSV, Markdown — lives in
+// internal/report, so these values can be cached, serialized and
+// re-rendered independently.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"repro/internal/power"
 )
@@ -19,98 +20,6 @@ type Series struct {
 	XLabel string // normally "Normalized Performance"
 	YLabel string // normally "Normalized Energy Consumption"
 	Points []power.Point
-}
-
-// Table renders the series as an aligned text table, one row per point,
-// including each point's normalized EDP and its position relative to the
-// constant-EDP reference line.
-func (s Series) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", s.Title)
-	fmt.Fprintf(&b, "%-14s %12s %12s %10s %10s %8s\n",
-		"design", "time(s)", "energy(J)", "norm perf", "norm enrg", "EDP")
-	for _, p := range s.Points {
-		pos := "on"
-		switch {
-		case p.BelowEDPLine(0.01):
-			pos = "below"
-		case p.NormEDP() > 1.01:
-			pos = "above"
-		}
-		fmt.Fprintf(&b, "%-14s %12.2f %12.0f %10.3f %10.3f %8s\n",
-			p.Label, p.Seconds, p.Joules, p.NormPerf, p.NormEnerg, pos)
-	}
-	return b.String()
-}
-
-// CSV renders the series as comma-separated values with a header.
-func (s Series) CSV() string {
-	var b strings.Builder
-	b.WriteString("label,seconds,joules,norm_perf,norm_energy,norm_edp\n")
-	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%g\n",
-			p.Label, p.Seconds, p.Joules, p.NormPerf, p.NormEnerg, p.NormEDP())
-	}
-	return b.String()
-}
-
-// Plot renders an ASCII scatter of normalized energy (y) vs normalized
-// performance (x), with the constant-EDP line drawn as dots. The x axis
-// is reversed (1.0 on the left), matching the paper's figures.
-func (s Series) Plot(width, height int) string {
-	if width < 20 {
-		width = 20
-	}
-	if height < 8 {
-		height = 8
-	}
-	xmax, ymax := 1.0, 1.0
-	for _, p := range s.Points {
-		xmax = math.Max(xmax, p.NormPerf)
-		ymax = math.Max(ymax, p.NormEnerg)
-	}
-	grid := make([][]byte, height)
-	for i := range grid {
-		grid[i] = []byte(strings.Repeat(" ", width))
-	}
-	// x: leftmost column = xmax, rightmost = 0 (reversed axis).
-	toCol := func(x float64) int {
-		c := int((1 - x/xmax) * float64(width-1))
-		if c < 0 {
-			c = 0
-		}
-		if c >= width {
-			c = width - 1
-		}
-		return c
-	}
-	toRow := func(y float64) int {
-		r := int((1 - y/ymax) * float64(height-1))
-		if r < 0 {
-			r = 0
-		}
-		if r >= height {
-			r = height - 1
-		}
-		return r
-	}
-	// EDP reference line: energy = perf.
-	for c := 0; c < width; c++ {
-		x := xmax * (1 - float64(c)/float64(width-1))
-		grid[toRow(x)][c] = '.'
-	}
-	for _, p := range s.Points {
-		grid[toRow(p.NormEnerg)][toCol(p.NormPerf)] = 'o'
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", s.Title)
-	fmt.Fprintf(&b, "%s ^ ('o' designs, '.' constant-EDP line)\n", s.YLabel)
-	for _, row := range grid {
-		fmt.Fprintf(&b, "  |%s\n", string(row))
-	}
-	fmt.Fprintf(&b, "  +%s> %s (%.2f at left, 0 at right)\n",
-		strings.Repeat("-", width), s.XLabel, xmax)
-	return b.String()
 }
 
 // NewSeries normalizes raw (seconds, joules) measurements against the
@@ -141,19 +50,14 @@ type Pair struct {
 	Measured float64
 }
 
-// Comparison renders a paper-vs-measured table with relative errors,
-// used by EXPERIMENTS.md generation and validation output.
-func Comparison(title string, pairs []Pair) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n%-38s %10s %10s %8s\n", title, "metric", "paper", "measured", "err")
-	for _, p := range pairs {
-		err := 0.0
-		if d := math.Max(math.Abs(p.Paper), math.Abs(p.Measured)); d > 0 {
-			err = math.Abs(p.Paper-p.Measured) / d
-		}
-		fmt.Fprintf(&b, "%-38s %10.3f %10.3f %7.1f%%\n", p.Metric, p.Paper, p.Measured, err*100)
+// RelErr returns the pair's symmetric relative error, the quantity the
+// comparison tables and validation tests report.
+func (p Pair) RelErr() float64 {
+	den := math.Max(math.Abs(p.Paper), math.Abs(p.Measured))
+	if den == 0 {
+		return 0
 	}
-	return b.String()
+	return math.Abs(p.Paper-p.Measured) / den
 }
 
 // SortByPerf orders points by descending normalized performance (the

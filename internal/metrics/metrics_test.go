@@ -1,7 +1,7 @@
 package metrics
 
 import (
-	"strings"
+	"math"
 	"testing"
 
 	"repro/internal/power"
@@ -33,61 +33,20 @@ func TestNewSeriesMissingRef(t *testing.T) {
 	}
 }
 
-func TestTableMarksEDPPosition(t *testing.T) {
-	s, _ := NewSeries("t", samplePoints(), "16N")
-	tbl := s.Table()
-	if !strings.Contains(tbl, "above") {
-		t.Fatalf("table missing EDP position:\n%s", tbl)
+func TestPairRelErr(t *testing.T) {
+	cases := []struct {
+		pair Pair
+		want float64
+	}{
+		{Pair{Paper: 0.64, Measured: 0.66}, 0.02 / 0.66},
+		{Pair{Paper: 0, Measured: 0}, 0},
+		{Pair{Paper: -1, Measured: 1}, 2},
+		{Pair{Paper: 1, Measured: 0}, 1},
 	}
-	if !strings.Contains(tbl, "8N") || !strings.Contains(tbl, "16N") {
-		t.Fatalf("table missing labels:\n%s", tbl)
-	}
-}
-
-func TestCSVRoundTrips(t *testing.T) {
-	s, _ := NewSeries("t", samplePoints(), "16N")
-	csv := s.CSV()
-	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("CSV has %d lines, want 3", len(lines))
-	}
-	if !strings.HasPrefix(lines[0], "label,") {
-		t.Fatalf("CSV header: %s", lines[0])
-	}
-	if !strings.HasPrefix(lines[2], "8N,156,820,") {
-		t.Fatalf("CSV row: %s", lines[2])
-	}
-}
-
-func TestPlotContainsPointsAndLine(t *testing.T) {
-	s, _ := NewSeries("t", samplePoints(), "16N")
-	plot := s.Plot(40, 10)
-	if !strings.Contains(plot, "o") {
-		t.Fatal("plot has no data points")
-	}
-	if !strings.Contains(plot, ".") {
-		t.Fatal("plot has no EDP line")
-	}
-	if strings.Count(plot, "\n") < 10 {
-		t.Fatal("plot too short")
-	}
-}
-
-func TestPlotMinimumDimensions(t *testing.T) {
-	s, _ := NewSeries("t", samplePoints(), "16N")
-	plot := s.Plot(1, 1) // clamped up
-	if len(plot) == 0 {
-		t.Fatal("empty plot")
-	}
-}
-
-func TestComparison(t *testing.T) {
-	out := Comparison("Fig X", []Pair{
-		{Metric: "8N perf", Paper: 0.64, Measured: 0.66},
-		{Metric: "zero", Paper: 0, Measured: 0},
-	})
-	if !strings.Contains(out, "8N perf") || !strings.Contains(out, "3.0%") {
-		t.Fatalf("comparison output wrong:\n%s", out)
+	for _, c := range cases {
+		if got := c.pair.RelErr(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelErr(%+v) = %v, want %v", c.pair, got, c.want)
+		}
 	}
 }
 

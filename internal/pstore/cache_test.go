@@ -1,0 +1,239 @@
+package pstore
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func cacheTestSpec(sf tpch.ScaleFactor, bSel, pSel float64, m JoinMethod) JoinSpec {
+	return JoinSpec{
+		Build: storage.TableDef{
+			Table: tpch.Orders, SF: sf, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "O_CUSTKEY",
+		},
+		Probe: storage.TableDef{
+			Table: tpch.Lineitem, SF: sf, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "L_SHIPDATE",
+		},
+		BuildSel: bSel, ProbeSel: pSel, Method: m,
+	}
+}
+
+func cacheTestCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Homogeneous(n, hw.ClusterV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCacheHitMiss counts traffic for a repeated (cluster, Config,
+// JoinSpec) join: the first request simulates, the second is served from
+// memory with a bit-identical result.
+func TestCacheHitMiss(t *testing.T) {
+	cache := NewCache(nil)
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(5, 0.05, 0.05, DualShuffle)
+
+	r1, j1, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("after first run: %+v, want 0 hits / 1 miss", s)
+	}
+
+	r2, j2, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after repeat: %+v, want 1 hit / 1 miss", s)
+	}
+	if r1 != r2 || j1 != j2 {
+		t.Fatalf("cached result differs: %+v/%v vs %+v/%v", r1, j1, r2, j2)
+	}
+
+	// A different cluster size, config, or spec is a distinct key.
+	if _, _, err := cache.RunJoin(cacheTestCluster(t, 2), cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.JoinWork = 2
+	if _, _, err := cache.RunJoin(cacheTestCluster(t, 4), cfg2, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := spec
+	spec2.ProbeSel = 0.10
+	if _, _, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec2); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 4 {
+		t.Fatalf("distinct keys collided: %+v, want 1 hit / 4 misses", s)
+	}
+}
+
+// TestCacheMatchesEngine proves memoized results equal fresh engine runs
+// (the simulation is deterministic, so this must be exact).
+func TestCacheMatchesEngine(t *testing.T) {
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(5, 0.05, 0.25, DualShuffle)
+
+	fresh, freshJ, err := Engine{}.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(nil)
+	for i := 0; i < 2; i++ {
+		got, gotJ, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh || gotJ != freshJ {
+			t.Fatalf("run %d: cache %+v/%v differs from engine %+v/%v", i, got, gotJ, fresh, freshJ)
+		}
+	}
+}
+
+// TestCacheConcurrencyLevels: RunConcurrent keys include k, and k=1 is
+// served from the single-join cache (one concurrent copy is the same
+// simulation as RunJoin).
+func TestCacheConcurrencyLevels(t *testing.T) {
+	cache := NewCache(nil)
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(5, 0.05, 0.05, DualShuffle)
+
+	res, joules, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk1, per1, j1, err := cache.RunConcurrent(cacheTestCluster(t, 4), cfg, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("k=1 did not reuse the single-join entry: %+v", s)
+	}
+	if mk1 != res.Seconds || len(per1) != 1 || per1[0] != res.Seconds || j1 != joules {
+		t.Fatalf("k=1 result (%v, %v, %v) does not match RunJoin (%v, %v)", mk1, per1, j1, res.Seconds, joules)
+	}
+
+	mk2a, _, _, err := cache.RunConcurrent(cacheTestCluster(t, 4), cfg, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk2b, _, _, err := cache.RunConcurrent(cacheTestCluster(t, 4), cfg, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk2a != mk2b {
+		t.Fatalf("cached k=2 makespan differs: %v vs %v", mk2a, mk2b)
+	}
+	if s := cache.Stats(); s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("k=2 keying wrong: %+v, want 2 hits / 2 misses", s)
+	}
+	if mk2a <= mk1 {
+		t.Fatalf("two concurrent copies (%v s) not slower than one (%v s)", mk2a, mk1)
+	}
+
+	// Direct engine comparison for the k=1 shortcut.
+	mkE, perE, jE, err := Engine{}.RunConcurrent(cacheTestCluster(t, 4), cfg, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mkE != mk1 || jE != j1 || len(perE) != 1 || math.Abs(perE[0]-per1[0]) != 0 {
+		t.Fatalf("k=1 shortcut diverges from engine: (%v,%v,%v) vs (%v,%v,%v)", mk1, per1, j1, mkE, perE, jE)
+	}
+}
+
+// panicRunner panics on its first RunJoin, then delegates to the engine.
+type panicRunner struct{ calls int }
+
+func (p *panicRunner) RunJoin(c *cluster.Cluster, cfg Config, spec JoinSpec) (JoinResult, float64, error) {
+	p.calls++
+	if p.calls == 1 {
+		panic("engine bug")
+	}
+	return Engine{}.RunJoin(c, cfg, spec)
+}
+
+func (p *panicRunner) RunConcurrent(c *cluster.Cluster, cfg Config, spec JoinSpec, k int) (float64, []float64, float64, error) {
+	return Engine{}.RunConcurrent(c, cfg, spec, k)
+}
+
+// TestCachePanicDoesNotPoison: a panicking simulation must not leave an
+// in-flight entry that deadlocks every later request for the key — the
+// panic propagates to its caller, and a retry re-simulates.
+func TestCachePanicDoesNotPoison(t *testing.T) {
+	cache := NewCache(&panicRunner{})
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(5, 0.05, 0.05, DualShuffle)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the caller")
+			}
+		}()
+		cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cache.RunJoin(cacheTestCluster(t, 4), cfg, spec)
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("retry after panic failed: %v", err)
+	}
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Fatalf("retry did not re-simulate: %+v", s)
+	}
+}
+
+// TestCacheInFlightSharing: concurrent requests for the same key run the
+// simulation once; late arrivals wait and count as hits.
+func TestCacheInFlightSharing(t *testing.T) {
+	cache := NewCache(nil)
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(5, 0.05, 0.05, Broadcast)
+	spec.BuildSel = 0.01
+
+	const callers = 4
+	clusters := make([]*cluster.Cluster, callers)
+	for i := range clusters {
+		clusters[i] = cacheTestCluster(t, 4)
+	}
+	results := make([]JoinResult, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			r, _, err := cache.RunJoin(clusters[i], cfg, spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	s := cache.Stats()
+	if s.Misses != 1 || s.Hits != callers-1 {
+		t.Fatalf("in-flight sharing failed: %+v, want 1 miss / %d hits", s, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package report renders experiments.Result values — the structured
+// output of the experiment registry — as text (the terminal format),
+// Markdown (the EXPERIMENTS.md format) or JSON. It is the presentation
+// half of the experiment API split: internal/experiments produces typed
+// data, this package turns it into paper-shaped artifacts, and the text
+// and Markdown emitters are byte-identical to the historical
+// Report.String()/Report.Markdown() renderings (asserted against golden
+// files in testdata/).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// TableText renders a structured table using its layout: the verbatim
+// title, the header layout applied to Columns, then each row's layout
+// applied to its cells.
+func TableText(t experiments.Table) string {
+	var b strings.Builder
+	b.WriteString(t.Layout.Title)
+	if t.Layout.HeaderFmt != "" {
+		cols := make([]any, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c
+		}
+		fmt.Fprintf(&b, t.Layout.HeaderFmt, cols...)
+	}
+	for i, row := range t.Rows {
+		fmt.Fprintf(&b, t.Layout.RowFmts[i], row...)
+	}
+	b.WriteString(t.Layout.Footer)
+	return b.String()
+}
+
+// Text renders the full result as text: tables, then each series as an
+// aligned table plus an ASCII scatter plot, then the paper-vs-measured
+// comparison.
+func Text(r experiments.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(TableText(t))
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		b.WriteString(SeriesTable(s))
+		b.WriteString("\n")
+		b.WriteString(SeriesPlot(s, 56, 14))
+		b.WriteString("\n")
+	}
+	if len(r.Pairs) > 0 {
+		b.WriteString(Comparison("paper vs measured", r.Pairs))
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a Markdown section (the format
+// EXPERIMENTS.md uses), with the paper-vs-measured pairs as a table.
+func Markdown(r experiments.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	for _, tbl := range r.Tables {
+		b.WriteString("```\n")
+		b.WriteString(TableText(tbl))
+		b.WriteString("```\n\n")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "**%s**\n\n", s.Title)
+		b.WriteString("| design | time (s) | energy (J) | norm perf | norm energy | EDP |\n")
+		b.WriteString("|---|---|---|---|---|---|\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "| %s | %.2f | %.0f | %.3f | %.3f | %s |\n",
+				p.Label, p.Seconds, p.Joules, p.NormPerf, p.NormEnerg, edpPos(p))
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Pairs) > 0 {
+		b.WriteString("| metric | paper | measured |\n|---|---|---|\n")
+		for _, p := range r.Pairs {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f |\n", p.Metric, p.Paper, p.Measured)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	results, err := runner.RunIDs([]string{"table1", "fig12"}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteMarkdown(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	md := b.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"| table1 |", "| fig12 |",
+		"## table1 —", "## fig12 —",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md, "FAILED") {
+		t.Error("markdown reports failures for a clean run")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	results, err := runner.RunIDs([]string{"table3"}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteText(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), golden(t, "table3.txt")+"\n"; got != want {
+		t.Errorf("WriteText = %q, want golden + newline", got)
+	}
+}
+
+func TestWriteJSONSuite(t *testing.T) {
+	results, err := runner.RunIDs([]string{"table1", "fig1b"}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Series []struct {
+			Points []struct {
+				Label    string  `json:"label"`
+				NormPerf float64 `json:"norm_perf"`
+			} `json:"points"`
+		} `json:"series"`
+		Tables []struct {
+			Name string  `json:"name"`
+			Rows [][]any `json:"rows"`
+		} `json:"tables"`
+		Pairs []struct {
+			Metric string  `json:"metric"`
+			Paper  float64 `json:"paper"`
+		} `json:"pairs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &docs); err != nil {
+		t.Fatalf("suite JSON invalid: %v", err)
+	}
+	if len(docs) != 2 || docs[0].ID != "table1" || docs[1].ID != "fig1b" {
+		t.Fatalf("unexpected suite JSON shape: %+v", docs)
+	}
+	for _, d := range docs {
+		if d.Status != "ok" {
+			t.Errorf("%s status = %q", d.ID, d.Status)
+		}
+	}
+	if len(docs[0].Tables) == 0 || len(docs[0].Tables[0].Rows) == 0 {
+		t.Error("table1 JSON has no structured rows")
+	}
+	if len(docs[1].Series) == 0 || len(docs[1].Series[0].Points) == 0 {
+		t.Error("fig1b JSON has no series points")
+	}
+	if len(docs[0].Pairs) == 0 || docs[0].Pairs[0].Paper == 0 {
+		t.Error("table1 JSON has no pairs")
+	}
+}

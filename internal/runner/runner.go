@@ -1,16 +1,16 @@
 // Package runner is the concurrent experiment harness: it fans the
 // experiment registry (or any ID subset) out over a bounded worker pool
-// and collects per-experiment reports, errors and wall times.
+// and collects per-experiment results, errors and wall times.
 //
 // Every experiment constructs its own private sim.Engine and cluster, so
 // experiments are embarrassingly parallel; the runner exploits that while
 // guaranteeing the output is indistinguishable from a serial run: results
-// are always returned in registry order, and each report is bit-identical
+// are always returned in registry order, and each result is bit-identical
 // to what serial execution produces (asserted by TestParallelMatchesSerial).
 //
-// The runner is also the home of the EXPERIMENTS.md emitter
-// (WriteMarkdown) and of Map, the generic bounded-parallelism primitive
-// the designer CLI and the benchmark harness reuse.
+// Rendering lives in internal/report (Text, Markdown, JSON emitters);
+// Map is the generic bounded-parallelism primitive the designer CLI and
+// the benchmark harness reuse.
 package runner
 
 import (
@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"path"
 	"runtime"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -33,7 +32,7 @@ var ErrSkipped = errors.New("runner: skipped after earlier failure")
 // Result is the outcome of one experiment run.
 type Result struct {
 	Experiment experiments.Experiment
-	Report     experiments.Report
+	Result     experiments.Result
 	Err        error
 	// Wall is host (not virtual) execution time.
 	Wall time.Duration
@@ -47,6 +46,11 @@ type Options struct {
 	// not yet started report ErrSkipped. The default collects every error
 	// and always runs the full selection.
 	FailFast bool
+	// Exp is handed to every experiment's Run: scale factor, concurrency
+	// levels, and the join runner. Inject a shared *pstore.Cache via
+	// Exp.Joins so experiments that re-simulate the same join share
+	// engine runs across the suite.
+	Exp experiments.Options
 }
 
 func (o Options) workers() int {
@@ -67,14 +71,14 @@ func Run(exps []experiments.Experiment, opts Options) ([]Result, error) {
 			return Result{Experiment: e, Err: ErrSkipped}, nil
 		}
 		start := time.Now()
-		rep, err := e.Run()
+		res, err := e.Run(opts.Exp)
 		if err != nil {
 			err = fmt.Errorf("%s: %w", e.ID, err)
 			if opts.FailFast {
 				aborted.Store(true)
 			}
 		}
-		return Result{Experiment: e, Report: rep, Err: err, Wall: time.Since(start)}, nil
+		return Result{Experiment: e, Result: res, Err: err, Wall: time.Since(start)}, nil
 	})
 
 	var errs []error
@@ -132,13 +136,8 @@ func Select(patterns ...string) ([]experiments.Experiment, error) {
 			}
 		}
 		if !matched {
-			var ids []string
-			for _, e := range reg {
-				ids = append(ids, e.ID)
-			}
-			sort.Strings(ids)
 			return nil, fmt.Errorf("runner: pattern %q matches no experiment (have %s)",
-				pat, strings.Join(ids, ", "))
+				pat, strings.Join(experiments.IDs(), ", "))
 		}
 	}
 	var out []experiments.Experiment

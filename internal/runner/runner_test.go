@@ -3,15 +3,17 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/pstore"
 )
 
-// TestParallelMatchesSerial is the runner's core guarantee: rendered
-// reports from a parallel run are byte-identical to serial execution.
+// TestParallelMatchesSerial is the runner's core guarantee: typed
+// results from a parallel run are identical to serial execution.
 // The subset covers each experiment family: a config table (table1), a
 // dbms-simulated figure (fig1a), a P-store-engine figure (fig3) and the
 // model-level design walkthrough (fig12).
@@ -34,12 +36,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("result %d out of order: serial=%s parallel=%s want %s",
 				i, serial[i].Experiment.ID, parallel[i].Experiment.ID, ids[i])
 		}
-		s, p := serial[i].Report.String(), parallel[i].Report.String()
-		if s != p {
-			t.Errorf("%s: parallel report differs from serial", ids[i])
-		}
-		if sm, pm := serial[i].Report.Markdown(), parallel[i].Report.Markdown(); sm != pm {
-			t.Errorf("%s: parallel Markdown differs from serial", ids[i])
+		if !reflect.DeepEqual(serial[i].Result, parallel[i].Result) {
+			t.Errorf("%s: parallel result differs from serial", ids[i])
 		}
 	}
 }
@@ -88,11 +86,11 @@ func failing(n, failAt int) []experiments.Experiment {
 		exps[i] = experiments.Experiment{
 			ID:    fmt.Sprintf("x%02d", i),
 			Title: "synthetic",
-			Run: func() (experiments.Report, error) {
+			Run: func(experiments.Options) (experiments.Result, error) {
 				if i == failAt {
-					return experiments.Report{}, errors.New("boom")
+					return experiments.Result{}, errors.New("boom")
 				}
-				return experiments.Report{ID: fmt.Sprintf("x%02d", i)}, nil
+				return experiments.Result{ID: fmt.Sprintf("x%02d", i)}, nil
 			},
 		}
 	}
@@ -101,7 +99,7 @@ func failing(n, failAt int) []experiments.Experiment {
 
 func TestCollectAllErrors(t *testing.T) {
 	exps := failing(6, 2)
-	exps[4].Run = func() (experiments.Report, error) { return experiments.Report{}, errors.New("bang") }
+	exps[4].Run = func(experiments.Options) (experiments.Result, error) { return experiments.Result{}, errors.New("bang") }
 	results, err := Run(exps, Options{Workers: 3})
 	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "bang") {
 		t.Fatalf("collect-all error = %v, want both failures joined", err)
@@ -179,26 +177,34 @@ func TestMapFirstErrorByInputOrder(t *testing.T) {
 	}
 }
 
-func TestWriteMarkdown(t *testing.T) {
-	results, err := RunIDs([]string{"table1", "fig12"}, Options{})
+// TestSharedCacheAcrossSuite plumbs a shared pstore.Cache through
+// Options.Exp and proves a suite run performs strictly fewer engine
+// invocations than the per-experiment sum, while the results stay
+// identical to uncached execution.
+func TestSharedCacheAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine experiments")
+	}
+	ids := []string{"fig3", "fig4", "fig5"}
+	uncached, err := RunIDs(ids, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var b strings.Builder
-	if err := WriteMarkdown(&b, results); err != nil {
+	cache := pstore.NewCache(nil)
+	cached, err := RunIDs(ids, Options{Exp: experiments.Options{Joins: cache}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	md := b.String()
-	for _, want := range []string{
-		"# EXPERIMENTS",
-		"| table1 |", "| fig12 |",
-		"## table1 —", "## fig12 —",
-	} {
-		if !strings.Contains(md, want) {
-			t.Errorf("markdown missing %q", want)
+	for i := range ids {
+		if !reflect.DeepEqual(uncached[i].Result, cached[i].Result) {
+			t.Errorf("%s: cached result differs from uncached", ids[i])
 		}
 	}
-	if strings.Contains(md, "FAILED") {
-		t.Error("markdown reports failures for a clean run")
+	s := cache.Stats()
+	if s.Hits == 0 {
+		t.Errorf("no joins shared across %v: %+v", ids, s)
+	}
+	if s.Misses >= s.Requests() {
+		t.Errorf("engine invocations (%d) not strictly fewer than per-experiment sum (%d)", s.Misses, s.Requests())
 	}
 }

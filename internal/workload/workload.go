@@ -64,12 +64,18 @@ func MicrobenchJoin() pstore.JoinSpec {
 // RunMicrobench executes the Figure 6 workload on one node of the given
 // hardware and returns (response seconds, joules).
 func RunMicrobench(spec hw.Spec) (float64, float64, error) {
+	return RunMicrobenchOn(pstore.Engine{}, spec)
+}
+
+// RunMicrobenchOn is RunMicrobench with an injectable join runner, so a
+// suite-wide pstore.Cache also memoizes the Figure 6 microbenchmarks.
+func RunMicrobenchOn(r pstore.JoinRunner, spec hw.Spec) (float64, float64, error) {
 	c, err := cluster.New(cluster.Homogeneous(1, spec))
 	if err != nil {
 		return 0, 0, err
 	}
 	cfg := pstore.Config{WarmCache: true, BatchRows: 100_000}
-	res, joules, err := pstore.RunJoin(c, cfg, MicrobenchJoin())
+	res, joules, err := r.RunJoin(c, cfg, MicrobenchJoin())
 	if err != nil {
 		return 0, 0, err
 	}

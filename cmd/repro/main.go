@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -57,8 +58,8 @@ func main() {
 		return
 	}
 
-	if *sf < 0 {
-		fmt.Fprintf(os.Stderr, "repro: -sf must be positive (0 = default), got %v\n", *sf)
+	if *sf < 0 || math.IsNaN(*sf) || math.IsInf(*sf, 0) {
+		fmt.Fprintf(os.Stderr, "repro: -sf must be a positive, finite number (0 = default), got %v\n", *sf)
 		os.Exit(2)
 	}
 	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf)}
@@ -66,8 +67,18 @@ func main() {
 		for _, f := range strings.Split(*conc, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || k <= 0 {
-				fmt.Fprintf(os.Stderr, "repro: bad -conc value %q\n", f)
+				fmt.Fprintf(os.Stderr, "repro: bad -conc value %q (want a positive integer)\n", f)
 				os.Exit(2)
+			}
+			if n := len(expOpts.Concurrency); n > 0 {
+				switch prev := expOpts.Concurrency[n-1]; {
+				case k == prev:
+					fmt.Fprintf(os.Stderr, "repro: duplicate -conc level %d\n", k)
+					os.Exit(2)
+				case k < prev:
+					fmt.Fprintf(os.Stderr, "repro: -conc levels must be in increasing order, got %d after %d\n", k, prev)
+					os.Exit(2)
+				}
 			}
 			expOpts.Concurrency = append(expOpts.Concurrency, k)
 		}

@@ -1,0 +1,230 @@
+// Command serve is the long-running workload-stream service: it accepts
+// a stream of join/design requests, schedules them over a bounded worker
+// pool with admission control, and answers repeated identical joins from
+// a shared in-memory cache (internal/service).
+//
+// Usage:
+//
+//	serve                          read JSON requests from stdin, one per line
+//	serve -http :8080              serve HTTP instead (POST /, GET /metrics)
+//	serve -workers 8 -queue 64     pool size and queue depth (admission control)
+//	serve -window 30               batch launches on 30 s window boundaries
+//	serve -nodes 8 -warm=false     per-request simulated cluster and engine config
+//
+// Request format (one JSON object per line; every field optional):
+//
+//	{"id":"q1","sf":10,"build_sel":0.05,"probe_sel":0.05,"method":"dual-shuffle"}
+//	{"id":"d1","kind":"design","build_gb":700,"probe_gb":2800,"nodes":8,"target":0.6}
+//	{"kind":"metrics"}
+//
+// Responses are one JSON line each, in completion order, correlated by
+// id: per-request latency and joules, cache hit/miss, and the status
+// admission control assigned ("ok", "shed", or "error" — a shed request
+// is answered, never dropped). A {"kind":"metrics"} line (or GET
+// /metrics in HTTP mode) emits the aggregate service metrics; the final
+// aggregate is written to stderr on shutdown (stdin EOF, SIGINT or
+// SIGTERM).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/pstore"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 4, "max in-flight requests (worker pool size)")
+		queue     = flag.Int("queue", 64, "admission queue depth (0 = no waiting room); a request arriving with the queue full is shed")
+		window    = flag.Float64("window", 0, "batched release window in seconds (0 = launch immediately)")
+		nodes     = flag.Int("nodes", 4, "nodes in the per-request simulated cluster")
+		warm      = flag.Bool("warm", true, "working set cached (scan at CPU rate)")
+		batchRows = flag.Int("batch-rows", 200_000, "engine exchange batch size in rows")
+		cache     = flag.Bool("cache", true, "answer repeated identical joins from memory")
+		httpAddr  = flag.String("http", "", "serve HTTP on this address instead of reading stdin")
+	)
+	flag.Parse()
+
+	switch {
+	case *window < 0 || math.IsNaN(*window) || math.IsInf(*window, 0):
+		fmt.Fprintf(os.Stderr, "serve: -window must be a non-negative, finite number, got %v\n", *window)
+		os.Exit(2)
+	case *workers < 1:
+		fmt.Fprintf(os.Stderr, "serve: -workers must be at least 1, got %d\n", *workers)
+		os.Exit(2)
+	case *queue < 0:
+		fmt.Fprintf(os.Stderr, "serve: -queue must not be negative, got %d\n", *queue)
+		os.Exit(2)
+	case *nodes < 1:
+		fmt.Fprintf(os.Stderr, "serve: -nodes must be at least 1, got %d\n", *nodes)
+		os.Exit(2)
+	}
+	cfg := service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		ClusterNodes: *nodes,
+		Engine:       pstore.Config{WarmCache: *warm, BatchRows: *batchRows},
+	}
+	if *window > 0 {
+		cfg.Policy = sched.Batched{Window: *window}
+	}
+	if !*cache {
+		cfg.Runner = pstore.Engine{}
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *httpAddr != "" {
+		serveHTTP(s, *httpAddr)
+	} else {
+		serveStdin(s)
+	}
+
+	s.Close()
+	if err := report.WriteServiceMetrics(os.Stderr, s.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveStdin answers one JSON request per input line until EOF.
+// Responses appear in completion order, one JSON line each.
+func serveStdin(s *service.Server) {
+	var outMu sync.Mutex
+	emit := func(r report.ServiceResponse) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		if err := report.WriteServiceResponse(os.Stdout, r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := decodeRequest([]byte(line))
+		if err != nil {
+			emit(report.ServiceResponse{ID: req.ID, Kind: "request", Status: "error", Error: err.Error()})
+			continue
+		}
+		if req.Kind == "metrics" {
+			outMu.Lock()
+			if err := report.WriteServiceMetrics(os.Stdout, s.Metrics()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			outMu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			emit(s.Do(req))
+		}()
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	wg.Wait()
+}
+
+// serveHTTP answers POST / (one request per body) and GET /metrics until
+// SIGINT/SIGTERM.
+func serveHTTP(s *service.Server, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a request object", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := decodeRequest(body)
+		var resp report.ServiceResponse
+		if err != nil {
+			resp = report.ServiceResponse{ID: req.ID, Kind: "request", Status: "error", Error: err.Error()}
+		} else {
+			resp = s.Do(req)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		switch resp.Status {
+		case "ok":
+			w.WriteHeader(http.StatusOK)
+		case "shed":
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusBadRequest)
+		}
+		if err := report.WriteServiceResponse(w, resp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := report.WriteServiceMetrics(w, s.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	})
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", addr)
+	select {
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
+// decodeRequest parses one request object strictly (unknown fields are
+// errors, so typos surface instead of silently running defaults). The
+// partially decoded request is returned even on error so the response
+// can carry the caller's id.
+func decodeRequest(b []byte) (service.Request, error) {
+	var req service.Request
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return req, fmt.Errorf("trailing data after the request object")
+	}
+	return req, nil
+}

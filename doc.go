@@ -16,6 +16,14 @@
 // text, Markdown or JSON, and a shared pstore.Cache memoizes identical
 // engine joins across experiments.
 //
+// The workload-stream service mode (internal/service, cmd/serve) runs
+// the same engine as a long-running service: JSON join/design requests
+// on stdin or HTTP, a bounded worker pool with admission control
+// (shed-on-overload), sched release policies for launch timing, and the
+// shared join cache answering repeated identical requests from memory.
+// Per-request and aggregate reports are typed JSON
+// (report.ServiceResponse, report.ServiceMetrics).
+//
 // Start with README.md for the tour and system inventory, and
 // EXPERIMENTS.md for the generated paper-vs-measured record (regenerate
 // with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`; `-json`

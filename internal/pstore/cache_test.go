@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hw"
+	"repro/internal/power"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 )
@@ -235,5 +236,152 @@ func TestCacheInFlightSharing(t *testing.T) {
 		if results[i] != results[0] {
 			t.Fatalf("caller %d got a different result", i)
 		}
+	}
+}
+
+// ptrCoeffs/ptrModel mimic a fitted power model that holds its
+// coefficients behind a pointer and prints only a generic name: before
+// fingerprinting was made structural, %v rendered every instance through
+// the lossy Stringer (or as an address for nested pointers), so
+// equal-valued models missed and different-valued models collided.
+type ptrCoeffs struct{ A, B float64 }
+
+type ptrModel struct{ p *ptrCoeffs }
+
+func (m ptrModel) Watts(u float64) float64 { return m.p.A + m.p.B*u }
+func (m ptrModel) String() string          { return "fitted" }
+
+func ptrModelCluster(t *testing.T, a, b float64) *cluster.Cluster {
+	t.Helper()
+	spec := hw.ClusterV()
+	spec.Power = ptrModel{p: &ptrCoeffs{A: a, B: b}}
+	c, err := cluster.New(cluster.Homogeneous(2, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFingerprintPointerModels is the regression test for content-keying
+// through pointer-typed power models: separately allocated equal-valued
+// models must share a cache entry, and models differing only in a field
+// the Stringer omits must not.
+func TestFingerprintPointerModels(t *testing.T) {
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(1, 0.05, 0.05, DualShuffle)
+
+	c1 := ptrModelCluster(t, 100, 50)
+	c2 := ptrModelCluster(t, 100, 50) // fresh allocations, equal values
+	c3 := ptrModelCluster(t, 100, 75) // same type + Stringer output, different coeffs
+
+	k1 := fingerprint(c1, cfg, spec, 1)
+	k2 := fingerprint(c2, cfg, spec, 1)
+	k3 := fingerprint(c3, cfg, spec, 1)
+	if k1 != k2 {
+		t.Fatalf("equal-valued pointer models fingerprint differently:\n%s\n%s", k1, k2)
+	}
+	if k1 == k3 {
+		t.Fatalf("different coefficients behind a pointer collided:\n%s", k1)
+	}
+
+	cache := NewCache(nil)
+	if _, _, err := cache.RunJoin(c1, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.RunJoin(c2, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.RunJoin(c3, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit (equal models) / 2 misses", s)
+	}
+}
+
+// TestFingerprintKeepsStringerOmittedFields guards the value-model case
+// too: PowerLaw.Floor is absent from its String output but must still
+// distinguish cache keys.
+func TestFingerprintKeepsStringerOmittedFields(t *testing.T) {
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(1, 0.05, 0.05, DualShuffle)
+
+	mk := func(floor float64) *cluster.Cluster {
+		s := hw.ClusterV()
+		s.Power = power.PowerLaw{A: 130.03, B: 0.2369, Floor: floor}
+		c, err := cluster.New(cluster.Homogeneous(2, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if fingerprint(mk(0), cfg, spec, 1) == fingerprint(mk(0.05), cfg, spec, 1) {
+		t.Fatal("PowerLaw.Floor does not participate in the fingerprint")
+	}
+}
+
+// TestRunJoinHitReporting checks the per-request hit flag used by the
+// service mode.
+func TestRunJoinHitReporting(t *testing.T) {
+	cache := NewCache(nil)
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(1, 0.05, 0.05, DualShuffle)
+
+	_, _, hit, err := cache.RunJoinHit(cacheTestCluster(t, 2), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported as a hit")
+	}
+	r2, j2, hit, err := cache.RunJoinHit(cacheTestCluster(t, 2), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("repeat request not reported as a hit")
+	}
+	r3, j3, err := cache.RunJoin(cacheTestCluster(t, 2), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r3 || j2 != j3 {
+		t.Fatal("RunJoinHit and RunJoin disagree on the cached result")
+	}
+}
+
+// cyclicModel holds a back-reference to itself: fingerprinting must
+// terminate with a cycle marker, and equal-valued cyclic models must
+// still share a key.
+type cyclicModel struct {
+	A    float64
+	Self *cyclicModel
+}
+
+func (m *cyclicModel) Watts(u float64) float64 { return m.A * u }
+func (m *cyclicModel) String() string          { return "cyclic" }
+
+func TestFingerprintCyclicModelTerminates(t *testing.T) {
+	cfg := Config{WarmCache: true, BatchRows: 200_000}
+	spec := cacheTestSpec(1, 0.05, 0.05, DualShuffle)
+	mk := func(a float64) *cluster.Cluster {
+		s := hw.ClusterV()
+		m := &cyclicModel{A: a}
+		m.Self = m
+		s.Power = m
+		c, err := cluster.New(cluster.Homogeneous(2, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	k1 := fingerprint(mk(100), cfg, spec, 1)
+	k2 := fingerprint(mk(100), cfg, spec, 1)
+	k3 := fingerprint(mk(200), cfg, spec, 1)
+	if k1 != k2 {
+		t.Fatalf("equal cyclic models fingerprint differently:\n%s\n%s", k1, k2)
+	}
+	if k1 == k3 {
+		t.Fatal("different cyclic models collided")
 	}
 }

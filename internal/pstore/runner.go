@@ -2,6 +2,8 @@ package pstore
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,13 @@ type JoinRunner interface {
 	// RunConcurrent executes k simultaneous copies of spec and returns
 	// the makespan, per-query response times and total energy.
 	RunConcurrent(c *cluster.Cluster, cfg Config, spec JoinSpec, k int) (makespan float64, perQuery []float64, joules float64, err error)
+}
+
+// HitReporter is the optional JoinRunner extension for runners that can
+// say whether a request was answered from a shared result. Cache
+// implements it; the service mode uses it to tag streamed responses.
+type HitReporter interface {
+	RunJoinHit(c *cluster.Cluster, cfg Config, spec JoinSpec) (res JoinResult, joules float64, hit bool, err error)
 }
 
 // Engine is the pass-through JoinRunner: every call runs a fresh
@@ -115,12 +124,21 @@ func (c *Cache) abandon(key string, e *cacheEntry) {
 
 // RunJoin implements JoinRunner with memoization.
 func (c *Cache) RunJoin(cl *cluster.Cluster, cfg Config, spec JoinSpec) (JoinResult, float64, error) {
+	res, joules, _, err := c.RunJoinHit(cl, cfg, spec)
+	return res, joules, err
+}
+
+// RunJoinHit is RunJoin plus a per-request hit report: hit is true when
+// the result came from a completed or in-flight shared simulation rather
+// than a fresh engine run. The service mode uses it to tag each streamed
+// response as answered-from-memory or simulated.
+func (c *Cache) RunJoinHit(cl *cluster.Cluster, cfg Config, spec JoinSpec) (res JoinResult, joules float64, hit bool, err error) {
 	key := fingerprint(cl, cfg, spec, 1)
 	e, hit := c.lookup(key)
 	if hit {
 		<-e.done
 		c.hits.Add(1)
-		return e.res, e.joules, e.err
+		return e.res, e.joules, true, e.err
 	}
 	c.misses.Add(1)
 	filled := false
@@ -132,7 +150,7 @@ func (c *Cache) RunJoin(cl *cluster.Cluster, cfg Config, spec JoinSpec) (JoinRes
 	e.res, e.joules, e.err = c.inner.RunJoin(cl, cfg, spec)
 	filled = true
 	close(e.done)
-	return e.res, e.joules, e.err
+	return e.res, e.joules, false, e.err
 }
 
 // RunConcurrent implements JoinRunner with memoization. A k=1 request is
@@ -169,14 +187,110 @@ func (c *Cache) RunConcurrent(cl *cluster.Cluster, cfg Config, spec JoinSpec, k 
 
 // fingerprint is the content key: concurrency level, effective engine
 // configuration, the full join spec, and every node's hardware spec in
-// cluster order. All spec fields are plain values, so %+v is a complete,
-// deterministic serialization; the power model is an interface and gets
-// its concrete type name prepended.
+// cluster order. Config and JoinSpec are plain values, so %+v is a
+// complete, deterministic serialization. Node specs go through
+// canonicalize instead: their power model is an interface whose
+// implementation may be pointer-typed or have a lossy String method, and
+// fmt would render it through the Stringer (dropping fields) or print
+// addresses for nested pointers — either silently defeats content-keying.
 func fingerprint(c *cluster.Cluster, cfg Config, spec JoinSpec, k int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "k=%d|cfg=%+v|spec=%+v|nodes=%d", k, cfg.withDefaults(), spec, len(c.Nodes))
 	for _, n := range c.Nodes {
-		fmt.Fprintf(&b, "|%+v|power=%T%+v", n.Spec, n.Spec.Power, n.Spec.Power)
+		b.WriteByte('|')
+		canonicalize(&b, reflect.ValueOf(n.Spec), make(map[uintptr]bool))
 	}
 	return b.String()
+}
+
+// canonicalize renders a value for content-keying: pointers are followed
+// to the pointed-to value (never an address), interfaces are tagged with
+// the concrete type, every struct field participates (no Stringer
+// shortcuts), and maps are keyed in sorted order. Unkeyable kinds (funcs,
+// channels) have no content to key, so they render by identity — a
+// conservative cache miss, never false sharing. path tracks the pointers
+// on the current traversal path so cyclic structures terminate: a
+// back-reference renders as a marker instead of recursing forever.
+func canonicalize(b *strings.Builder, v reflect.Value, path map[uintptr]bool) {
+	switch v.Kind() {
+	case reflect.Invalid:
+		b.WriteString("<nil>")
+	case reflect.Pointer:
+		if v.IsNil() {
+			b.WriteString("<nil>")
+			return
+		}
+		p := v.Pointer()
+		if path[p] {
+			b.WriteString("&cycle")
+			return
+		}
+		path[p] = true
+		b.WriteByte('&')
+		canonicalize(b, v.Elem(), path)
+		delete(path, p)
+	case reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("<nil>")
+			return
+		}
+		b.WriteString(v.Elem().Type().String())
+		b.WriteByte('(')
+		canonicalize(b, v.Elem(), path)
+		b.WriteByte(')')
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteByte('{')
+		for i := 0; i < v.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteByte(':')
+			canonicalize(b, v.Field(i), path)
+		}
+		b.WriteByte('}')
+	case reflect.Slice, reflect.Array:
+		b.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			canonicalize(b, v.Index(i), path)
+		}
+		b.WriteByte(']')
+	case reflect.Map:
+		p := v.Pointer()
+		if path[p] {
+			b.WriteString("map-cycle")
+			return
+		}
+		path[p] = true
+		keys := make([]string, 0, v.Len())
+		byKey := make(map[string]reflect.Value, v.Len())
+		for it := v.MapRange(); it.Next(); {
+			var kb strings.Builder
+			canonicalize(&kb, it.Key(), path)
+			keys = append(keys, kb.String())
+			byKey[kb.String()] = it.Value()
+		}
+		sort.Strings(keys)
+		b.WriteString("map[")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(k)
+			b.WriteByte(':')
+			canonicalize(b, byKey[k], path)
+		}
+		b.WriteByte(']')
+		delete(path, p)
+	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
+		fmt.Fprintf(b, "%s@%x", v.Type(), v.Pointer())
+	default:
+		// Basic kinds. fmt formats a reflect.Value as the value it holds,
+		// which works for unexported fields too.
+		fmt.Fprintf(b, "%v", v)
+	}
 }

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ServiceResponse is the typed per-request report of the workload-stream
+// service mode (internal/service, cmd/serve): one JSON line per streamed
+// request, correlated by ID.
+type ServiceResponse struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"` // "join" | "design"
+	// Status is "ok", "shed" (admission control refused the request) or
+	// "error" (the request was invalid or the run failed).
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Cache is "hit" or "miss" for join requests answered through a
+	// memoizing runner; empty otherwise.
+	Cache string `json:"cache,omitempty"`
+	// Seconds/Joules are the simulated response time and cluster energy
+	// of a join run, or the model-predicted values of a design.
+	Seconds float64 `json:"seconds,omitempty"`
+	Joules  float64 `json:"joules,omitempty"`
+	// Design is the recommended design label ("2B,6W") of a design request.
+	Design string `json:"design,omitempty"`
+	// QueueSeconds is arrival-to-launch wall time (admission queueing
+	// plus policy release delay); WallSeconds is arrival-to-completion.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	WallSeconds  float64 `json:"wall_seconds,omitempty"`
+}
+
+// OK reports whether the request was answered.
+func (r ServiceResponse) OK() bool { return r.Status == "ok" }
+
+// ServiceMetrics is the aggregate service report, emitted on shutdown or
+// on demand (a {"kind":"metrics"} request, or GET /metrics in HTTP mode).
+type ServiceMetrics struct {
+	Received int64 `json:"received"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`
+	Errors   int64 `json:"errors"`
+	// CacheHits/CacheMisses count join requests answered from the shared
+	// runner's memory vs fresh engine simulations.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// WallSeconds is the service uptime; Throughput is answered requests
+	// per wall second.
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput"`
+	// MeanResponse/MaxResponse are wall-clock arrival-to-completion times
+	// over answered requests.
+	MeanResponse float64 `json:"mean_response_seconds"`
+	MaxResponse  float64 `json:"max_response_seconds"`
+	// TotalJoules and JoulesPerQuery aggregate the simulated cluster
+	// energy of answered join requests (cache hits count the memoized
+	// energy: the service answered without re-spending it).
+	TotalJoules    float64 `json:"total_joules"`
+	JoulesPerQuery float64 `json:"joules_per_query"`
+}
+
+// WriteServiceResponse emits one response as a single JSON line.
+func WriteServiceResponse(w io.Writer, r ServiceResponse) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// WriteServiceMetrics emits the aggregate as indented JSON.
+func WriteServiceMetrics(w io.Writer, m ServiceMetrics) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

@@ -19,7 +19,10 @@ import (
 // costs" of switching servers on and off.
 //
 // Per-query response times are identical to Run under the same policy;
-// only the energy differs.
+// only the energy differs. The result reports both power rates: IdleWatts
+// remains the engine-idle floor f(G), while TailWatts is the suspended
+// draw, so EnergyOver extends the horizon at the rate the managed cluster
+// actually pays while sleeping through the tail gap.
 func RunManaged(c *cluster.Cluster, cfg pstore.Config, wl Workload, policy Policy) (Result, error) {
 	if len(wl) == 0 {
 		return Result{}, fmt.Errorf("sched: empty workload")
@@ -142,6 +145,7 @@ func RunManaged(c *cluster.Cluster, cfg pstore.Config, wl Workload, policy Polic
 	res.Joules = c.TotalJoules()
 	for _, nd := range c.Nodes {
 		res.IdleWatts += nd.Spec.Power.Watts(nd.Spec.UtilFloor)
+		res.TailWatts += nd.Spec.SleepModelWatts()
 	}
 	return res, nil
 }

@@ -42,6 +42,54 @@ func TestManagedSavesEnergyVsUnmanaged(t *testing.T) {
 	if managed.Joules >= unmanaged.Joules*0.95 {
 		t.Fatalf("managed %.0f J vs unmanaged %.0f J: want >5%% savings", managed.Joules, unmanaged.Joules)
 	}
+	// Over a common horizon past both makespans, the managed run's tail
+	// must extend at the sleep rate, not the idle floor — the corrected
+	// EnergyOver comparison must still favor management.
+	horizon := math.Max(managed.Makespan, unmanaged.Makespan) + 300
+	if managed.EnergyOver(horizon) >= unmanaged.EnergyOver(horizon) {
+		t.Fatalf("managed EnergyOver(%v) = %.0f J not below unmanaged %.0f J",
+			horizon, managed.EnergyOver(horizon), unmanaged.EnergyOver(horizon))
+	}
+}
+
+func TestManagedTailRateIsSleepAware(t *testing.T) {
+	wl := Periodic(testSpec(), 2, 60)
+	cm, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := RunManaged(cm, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idleW, sleepW float64
+	for _, n := range cm.Nodes {
+		idleW += n.Spec.IdleModelWatts()
+		sleepW += n.Spec.SleepModelWatts()
+	}
+	if math.Abs(managed.IdleWatts-idleW) > 1e-9 {
+		t.Fatalf("IdleWatts = %v, want engine-idle floor %v", managed.IdleWatts, idleW)
+	}
+	if math.Abs(managed.TailWatts-sleepW) > 1e-9 {
+		t.Fatalf("TailWatts = %v, want suspended rate %v", managed.TailWatts, sleepW)
+	}
+	// EnergyOver must charge the tail gap at the sleep rate, not full idle.
+	extra := managed.EnergyOver(managed.Makespan+100) - managed.Joules
+	if math.Abs(extra-sleepW*100) > 1e-6 {
+		t.Fatalf("tail extension added %.2f J, want %.2f (sleep rate)", extra, sleepW*100)
+	}
+	// The unmanaged result keeps idling through its tail.
+	cu, err := mkCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmanaged, err := Run(cu, cfg(), wl, Immediate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(unmanaged.TailWatts-idleW) > 1e-9 {
+		t.Fatalf("unmanaged TailWatts = %v, want idle floor %v", unmanaged.TailWatts, idleW)
+	}
 }
 
 func TestManagedMatchesAnalyticalSleepPrediction(t *testing.T) {

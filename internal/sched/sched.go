@@ -96,29 +96,54 @@ type Result struct {
 	Makespan  float64 // time from workload start to last completion
 	Joules    float64 // total metered cluster energy over the makespan
 	IdleWatts float64 // cluster power at the engine-idle floor f(G)
+	// TailWatts is the power rate EnergyOver charges for the horizon
+	// extension beyond Makespan. Run reports the engine-idle floor (the
+	// cluster keeps idling); RunManaged reports the suspended rate (a
+	// power-managed cluster sleeps through the tail gap). Zero falls
+	// back to IdleWatts so hand-built Results keep working.
+	TailWatts float64
 	Queries   []QueryResult
 	MeanResp  float64
 	MaxResp   float64
 }
 
-// EnergyOver returns the cluster energy over a fixed horizon >= Makespan:
-// the metered joules plus engine-idle power for the remaining time. This
-// is the fair basis for comparing scheduling policies whose makespans
-// differ (the cluster does not vanish when the last query finishes).
+// EnergyOver returns the cluster energy over a fixed accounting horizon:
+// the metered joules plus TailWatts (IdleWatts if unset) for the time
+// between Makespan and the horizon. This is the fair basis for comparing
+// scheduling policies whose makespans differ (the cluster does not vanish
+// when the last query finishes).
+//
+// A horizon below Makespan is clamped to Makespan: the metered energy is
+// already spent, so the window can never be shorter than the run itself.
+// Callers comparing policies should pass a common horizon at least as
+// large as every makespan involved.
 func (r Result) EnergyOver(horizon float64) float64 {
 	if horizon <= r.Makespan {
 		return r.Joules
 	}
-	return r.Joules + r.IdleWatts*(horizon-r.Makespan)
+	tail := r.TailWatts
+	if tail == 0 {
+		tail = r.IdleWatts
+	}
+	return r.Joules + tail*(horizon-r.Makespan)
 }
 
 // Gaps returns the maximal intervals within [0, horizon] during which no
-// query is running, as (start, end) pairs.
+// query is running, as (start, end) pairs. Busy intervals are clamped to
+// [0, horizon] first, so no gap ever starts or ends outside the
+// accounting window — a query launched or still running past the horizon
+// contributes nothing beyond it.
 func (r Result) Gaps(horizon float64) [][2]float64 {
+	if horizon <= 0 {
+		return nil
+	}
 	type iv struct{ a, b float64 }
 	var busy []iv
 	for _, q := range r.Queries {
-		busy = append(busy, iv{q.Launched, q.Finished})
+		a, b := math.Max(q.Launched, 0), math.Min(q.Finished, horizon)
+		if b > a {
+			busy = append(busy, iv{a, b})
+		}
 	}
 	sort.Slice(busy, func(i, j int) bool { return busy[i].a < busy[j].a })
 	var gaps [][2]float64
@@ -144,6 +169,12 @@ func (r Result) Gaps(horizon float64) [][2]float64 {
 // cluster still burns idle power); while asleep it draws sleepWatts
 // instead of IdleWatts. Batched scheduling consolidates many short gaps
 // into few long ones, which is exactly what makes sleeping effective.
+// Gaps are clamped to [0, horizon], so no savings are ever credited for
+// time outside the accounting window.
+//
+// The estimate applies to unmanaged (Run) results. RunManaged results
+// already meter sleep and charge a sleep-aware tail rate; applying
+// EnergyWithSleep to one would credit the same savings twice.
 func (r Result) EnergyWithSleep(horizon, sleepWatts, wakeSeconds float64) float64 {
 	e := r.EnergyOver(horizon)
 	if sleepWatts >= r.IdleWatts {
@@ -207,6 +238,7 @@ func Run(c *cluster.Cluster, cfg pstore.Config, wl Workload, policy Policy) (Res
 	for _, nd := range c.Nodes {
 		res.IdleWatts += nd.Spec.Power.Watts(nd.Spec.UtilFloor)
 	}
+	res.TailWatts = res.IdleWatts // an unmanaged cluster keeps idling
 	return res, nil
 }
 

@@ -174,6 +174,80 @@ func TestEnergyWithSleepBounds(t *testing.T) {
 	}
 }
 
+func TestGapsClampToHorizon(t *testing.T) {
+	// Hand-built result: busy [10,20] and [30,40].
+	r := Result{
+		Makespan: 40,
+		Queries: []QueryResult{
+			{Launched: 10, Finished: 20},
+			{Launched: 30, Finished: 40},
+		},
+	}
+	cases := []struct {
+		horizon float64
+		want    [][2]float64
+	}{
+		{50, [][2]float64{{0, 10}, {20, 30}, {40, 50}}}, // past makespan: tail gap
+		{40, [][2]float64{{0, 10}, {20, 30}}},           // exactly makespan
+		{35, [][2]float64{{0, 10}, {20, 30}}},           // cuts mid-busy: no gap beyond
+		{25, [][2]float64{{0, 10}, {20, 25}}},           // second busy fully outside
+		{15, [][2]float64{{0, 10}}},                     // cuts the first busy interval
+		{5, [][2]float64{{0, 5}}},                       // before any query
+		{0, nil},
+		{-10, nil},
+	}
+	for _, c := range cases {
+		got := r.Gaps(c.horizon)
+		if len(got) != len(c.want) {
+			t.Fatalf("Gaps(%v) = %v, want %v", c.horizon, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Gaps(%v) = %v, want %v", c.horizon, got, c.want)
+			}
+		}
+		for _, g := range got {
+			if g[0] < 0 || g[1] > c.horizon {
+				t.Fatalf("Gaps(%v) produced interval %v outside [0, horizon]", c.horizon, g)
+			}
+		}
+	}
+}
+
+func TestEnergyWithSleepNeverCreditsBeyondHorizon(t *testing.T) {
+	// A query running far past the horizon used to leave a gap whose
+	// right edge was its launch time (1000), crediting 990 s of sleep
+	// savings inside a 100 s window — more than the window holds.
+	r := Result{
+		Joules:    5000,
+		IdleWatts: 10,
+		Makespan:  1010,
+		Queries: []QueryResult{
+			{Launched: 0, Finished: 10},
+			{Launched: 1000, Finished: 1010},
+		},
+	}
+	const h = 100.0
+	got := r.EnergyWithSleep(h, 0, 0)
+	want := r.Joules - r.IdleWatts*(h-10) // only the [10,100] gap sleeps
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EnergyWithSleep = %v, want %v", got, want)
+	}
+	if floor := r.Joules - r.IdleWatts*h; got < floor {
+		t.Fatalf("EnergyWithSleep = %v credits more than the whole window (floor %v)", got, floor)
+	}
+	// A busy interval straddling the horizon blocks the tail gap too.
+	r2 := Result{
+		Joules:    1000,
+		IdleWatts: 10,
+		Makespan:  150,
+		Queries:   []QueryResult{{Launched: 0, Finished: 150}},
+	}
+	if got := r2.EnergyWithSleep(100, 0, 0); got != r2.Joules {
+		t.Fatalf("busy-through-horizon run credited sleep savings: %v", got)
+	}
+}
+
 func TestEnergyOverExtendsWithIdlePower(t *testing.T) {
 	c, err := mkCluster()
 	if err != nil {

@@ -1,0 +1,393 @@
+// Package service is the workload-stream service mode: the ROADMAP's
+// heavy-traffic north star built on the corrected scheduler layers. A
+// Server accepts a stream of join/design requests, admits them onto a
+// bounded worker pool (max in-flight = workers, bounded queue,
+// shed-on-overload), delays launches per a sched release policy
+// (Immediate or Batched windows), and answers join requests through a
+// shared pstore.JoinRunner — with a pstore.Cache, identical requests are
+// served from memory, bit-identical to a fresh engine run.
+//
+// Responses are typed report.ServiceResponse values (per-request latency,
+// joules, cache hit/miss); aggregate report.ServiceMetrics (throughput,
+// mean/max response, energy-per-query) are available on demand and on
+// shutdown. cmd/serve wires the Server to JSON lines on stdin or an HTTP
+// endpoint.
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/pstore"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Request is one streamed service request. Join parameters are embedded
+// (sf, build_sel, probe_sel, method); an empty object is a valid join
+// request at the service defaults.
+type Request struct {
+	ID string `json:"id,omitempty"`
+	// Kind is "join" (default) or "design".
+	Kind                 string `json:"kind,omitempty"`
+	workload.JoinRequest        // join parameters
+
+	// Design-request parameters (cluster design for a hash-join workload,
+	// answered by the analytical model — no engine run).
+	BuildGB float64 `json:"build_gb,omitempty"` // build table size (default 700)
+	ProbeGB float64 `json:"probe_gb,omitempty"` // probe table size (default 2800)
+	Nodes   int     `json:"nodes,omitempty"`    // design size bound (default 8)
+	Target  float64 `json:"target,omitempty"`   // min normalized perf (default 0.6)
+}
+
+// Config controls a Server.
+type Config struct {
+	// Workers is the maximum number of in-flight requests (default 4).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the
+	// in-flight ones. A request arriving with the queue full is shed.
+	// Zero means no waiting room at all: a request is admitted only if a
+	// worker is free to take it immediately (cmd/serve defaults the flag
+	// to 64).
+	QueueDepth int
+	// Policy maps a request's arrival time (seconds since service start)
+	// to its launch time — the sched release policies (default Immediate).
+	Policy sched.Policy
+	// Runner executes join requests. A *pstore.Cache (the default) makes
+	// the service answer repeated identical requests from memory and
+	// tags responses hit/miss.
+	Runner pstore.JoinRunner
+	// Cluster builds the per-request simulated cluster (default: ClusterNodes
+	// homogeneous cluster-V nodes). Identical clusters fingerprint
+	// identically, so fresh instances still share cache entries.
+	Cluster func() (*cluster.Cluster, error)
+	// ClusterNodes sizes the default cluster factory (default 4).
+	ClusterNodes int
+	// Engine is the P-store configuration for join runs.
+	Engine pstore.Config
+}
+
+type job struct {
+	req     Request
+	arrival time.Time
+	done    chan report.ServiceResponse
+}
+
+// Server is a running workload-stream service. Create with New, submit
+// with Do (safe for concurrent use), finish with Close.
+type Server struct {
+	cfg    Config
+	policy sched.Policy
+	runner pstore.JoinRunner
+	mk     func() (*cluster.Cluster, error)
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	start time.Time
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	lifecycle sync.RWMutex // guards closed vs in-flight Do sends
+	closed    bool
+
+	mu       sync.Mutex
+	admitted int // in-flight + queued, capped at Workers+QueueDepth
+	received int64
+	ok       int64
+	shed     int64
+	errs     int64
+	okJoins  int64
+	hits     int64
+	misses   int64
+	respSum  float64
+	respMax  float64
+	joules   float64
+}
+
+// New starts a Server and its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("service: Workers must be at least 1, got %d", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("service: QueueDepth must not be negative, got %d", cfg.QueueDepth)
+	}
+	if cfg.ClusterNodes == 0 {
+		cfg.ClusterNodes = 4
+	}
+	if cfg.ClusterNodes < 1 {
+		return nil, fmt.Errorf("service: ClusterNodes must be at least 1, got %d", cfg.ClusterNodes)
+	}
+	s := &Server{
+		cfg:    cfg,
+		policy: cfg.Policy,
+		runner: cfg.Runner,
+		mk:     cfg.Cluster,
+		// Admission is decided by the admitted counter (in-flight plus
+		// queued, capped at Workers+QueueDepth), so the channel always
+		// has room for every admitted job and sends never block.
+		queue: make(chan *job, cfg.Workers+cfg.QueueDepth),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+	if s.policy == nil {
+		s.policy = sched.Immediate{}
+	}
+	if s.runner == nil {
+		s.runner = pstore.NewCache(nil)
+	}
+	if s.mk == nil {
+		nodes := cfg.ClusterNodes
+		s.mk = func() (*cluster.Cluster, error) {
+			return cluster.New(cluster.Homogeneous(nodes, hw.ClusterV()))
+		}
+	}
+	s.start = s.now()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Do submits one request and blocks until it is answered or shed. Every
+// call produces exactly one response — admission control refuses work
+// with a "shed" response, it never drops a request silently. Do must not
+// be called after Close.
+func (s *Server) Do(req Request) report.ServiceResponse {
+	resp := report.ServiceResponse{ID: req.ID, Kind: kindOf(req), Status: "shed"}
+
+	s.mu.Lock()
+	s.received++
+	admit := s.admitted < s.cfg.Workers+s.cfg.QueueDepth
+	if admit {
+		s.admitted++
+	}
+	s.mu.Unlock()
+	if !admit {
+		s.count(resp)
+		return resp
+	}
+
+	s.lifecycle.RLock()
+	if s.closed {
+		s.lifecycle.RUnlock()
+		s.release()
+		resp.Status = "error"
+		resp.Error = "service: closed"
+		s.count(resp)
+		return resp
+	}
+	j := &job{req: req, arrival: s.now(), done: make(chan report.ServiceResponse, 1)}
+	s.queue <- j // never blocks: the channel has room for every admitted job
+	s.lifecycle.RUnlock()
+	return <-j.done
+}
+
+// release gives an admission slot back.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.admitted--
+	s.mu.Unlock()
+}
+
+// Close drains the queue, stops the workers and waits for in-flight
+// requests. Concurrent Do calls that lost the race get error responses
+// rather than panics; callers should stop submitting first.
+func (s *Server) Close() {
+	s.lifecycle.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.lifecycle.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		arrival := j.arrival.Sub(s.start).Seconds()
+		if wait := s.policy.ReleaseAt(arrival) - s.now().Sub(s.start).Seconds(); wait > 0 {
+			s.sleep(time.Duration(wait * float64(time.Second)))
+		}
+		launched := s.now()
+		resp := s.handle(j.req)
+		resp.QueueSeconds = launched.Sub(j.arrival).Seconds()
+		resp.WallSeconds = s.now().Sub(j.arrival).Seconds()
+		s.count(resp)
+		s.release()
+		j.done <- resp
+	}
+}
+
+func kindOf(req Request) string {
+	if req.Kind == "" {
+		return "join"
+	}
+	return req.Kind
+}
+
+// handle executes one admitted request.
+func (s *Server) handle(req Request) report.ServiceResponse {
+	resp := report.ServiceResponse{ID: req.ID, Kind: kindOf(req)}
+	fail := func(err error) report.ServiceResponse {
+		resp.Status = "error"
+		resp.Error = err.Error()
+		return resp
+	}
+	switch kindOf(req) {
+	case "join":
+		spec, err := req.JoinRequest.Spec()
+		if err != nil {
+			return fail(err)
+		}
+		c, err := s.mk()
+		if err != nil {
+			return fail(err)
+		}
+		var res pstore.JoinResult
+		var joules float64
+		if hr, ok := s.runner.(pstore.HitReporter); ok {
+			var hit bool
+			res, joules, hit, err = hr.RunJoinHit(c, s.cfg.Engine, spec)
+			if err == nil {
+				resp.Cache = "miss"
+				if hit {
+					resp.Cache = "hit"
+				}
+			}
+		} else {
+			res, joules, err = s.runner.RunJoin(c, s.cfg.Engine, spec)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		resp.Status = "ok"
+		resp.Seconds = res.Seconds
+		resp.Joules = joules
+		return resp
+	case "design":
+		adv, err := s.design(req)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Status = "ok"
+		resp.Design = adv.Best.Label()
+		resp.Seconds = adv.Best.Seconds
+		resp.Joules = adv.Best.Joules
+		return resp
+	default:
+		return fail(fmt.Errorf("service: unknown request kind %q (want join or design)", req.Kind))
+	}
+}
+
+// design answers a cluster-design request with the analytical model.
+func (s *Server) design(req Request) (core.Advice, error) {
+	buildGB, probeGB := req.BuildGB, req.ProbeGB
+	if buildGB == 0 {
+		buildGB = 700
+	}
+	if probeGB == 0 {
+		probeGB = 2800
+	}
+	nodes := req.Nodes
+	if nodes == 0 {
+		nodes = 8
+	}
+	target := req.Target
+	if target == 0 {
+		target = 0.6
+	}
+	bsel, psel := req.BuildSel, req.ProbeSel
+	if bsel == 0 {
+		bsel = 0.1
+	}
+	if psel == 0 {
+		psel = 0.1
+	}
+	switch {
+	case !(buildGB > 0) || math.IsInf(buildGB, 0) || !(probeGB > 0) || math.IsInf(probeGB, 0):
+		return core.Advice{}, fmt.Errorf("service: table sizes must be positive, finite GB, got build=%v probe=%v", req.BuildGB, req.ProbeGB)
+	case nodes < 1 || nodes > 256:
+		return core.Advice{}, fmt.Errorf("service: nodes must be in [1,256], got %d", req.Nodes)
+	case !(target > 0 && target <= 1):
+		return core.Advice{}, fmt.Errorf("service: target must be in (0,1], got %v", req.Target)
+	case !(bsel > 0 && bsel <= 1) || !(psel > 0 && psel <= 1):
+		return core.Advice{}, fmt.Errorf("service: selectivities must be in (0,1], got build=%v probe=%v", req.BuildSel, req.ProbeSel)
+	}
+	base := model.FromSpecs(nodes, hw.ClusterV(), 0, hw.WimpyModelNode())
+	base.Bld = buildGB * 1000
+	base.Prb = probeGB * 1000
+	base.Sbld, base.Sprb = bsel, psel
+	// Design under the same cache regime the service's joins simulate,
+	// so the recommendation sizes the workload it actually serves.
+	base.WarmCache = s.cfg.Engine.WarmCache
+	d := core.Designer{Base: base, MaxNodes: nodes}
+	return d.Recommend(target)
+}
+
+// count folds one finished (or refused) response into the aggregates.
+func (s *Server) count(r report.ServiceResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Status {
+	case "ok":
+		s.ok++
+		s.respSum += r.WallSeconds
+		s.respMax = math.Max(s.respMax, r.WallSeconds)
+		if r.Kind == "join" {
+			s.okJoins++
+			s.joules += r.Joules
+		}
+	case "shed":
+		s.shed++
+	default:
+		s.errs++
+	}
+	switch r.Cache {
+	case "hit":
+		s.hits++
+	case "miss":
+		s.misses++
+	}
+}
+
+// Metrics returns an aggregate snapshot. It is available while the
+// service runs (a {"kind":"metrics"} line or GET /metrics in cmd/serve)
+// and is the shutdown report.
+func (s *Server) Metrics() report.ServiceMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := report.ServiceMetrics{
+		Received:    s.received,
+		OK:          s.ok,
+		Shed:        s.shed,
+		Errors:      s.errs,
+		CacheHits:   s.hits,
+		CacheMisses: s.misses,
+		WallSeconds: s.now().Sub(s.start).Seconds(),
+		MaxResponse: s.respMax,
+		TotalJoules: s.joules,
+	}
+	if s.ok > 0 {
+		m.MeanResponse = s.respSum / float64(s.ok)
+	}
+	if s.okJoins > 0 {
+		m.JoulesPerQuery = s.joules / float64(s.okJoins)
+	}
+	if m.WallSeconds > 0 {
+		m.Throughput = float64(s.ok) / m.WallSeconds
+	}
+	return m
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/pstore"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func engineCfg() pstore.Config {
+	return pstore.Config{WarmCache: true, BatchRows: 200_000}
+}
+
+// TestServiceByteIdenticalToSchedRun is the correctness anchor: every
+// per-request result the service emits must be byte-identical to running
+// the same spec through sched.Run serially on a fresh cluster.
+func TestServiceByteIdenticalToSchedRun(t *testing.T) {
+	reqs := []Request{
+		{ID: "a", JoinRequest: workload.JoinRequest{SF: 5, BuildSel: 0.05, ProbeSel: 0.05}},
+		{ID: "b", JoinRequest: workload.JoinRequest{SF: 5, BuildSel: 0.10, ProbeSel: 0.02}},
+		{ID: "c", JoinRequest: workload.JoinRequest{SF: 10, BuildSel: 0.05, ProbeSel: 0.05, Method: "broadcast"}},
+		{ID: "d", JoinRequest: workload.JoinRequest{SF: 10, BuildSel: 0.05, ProbeSel: 0.05, Method: "prepartitioned"}},
+	}
+	s, err := New(Config{Workers: 2, QueueDepth: len(reqs), Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]report.ServiceResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = s.Do(r)
+		}()
+	}
+	wg.Wait()
+	s.Close()
+
+	for i, r := range reqs {
+		if !got[i].OK() {
+			t.Fatalf("request %s: %+v", r.ID, got[i])
+		}
+		spec, err := r.JoinRequest.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cluster.New(cluster.Homogeneous(4, hw.ClusterV()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sched.Run(c, engineCfg(), sched.Workload{{Name: r.ID, Arrival: 0, Spec: spec}}, sched.Immediate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Seconds != want.Queries[0].Execution() {
+			t.Fatalf("request %s seconds = %v, sched.Run = %v", r.ID, got[i].Seconds, want.Queries[0].Execution())
+		}
+		if got[i].Joules != want.Joules {
+			t.Fatalf("request %s joules = %v, sched.Run = %v", r.ID, got[i].Joules, want.Joules)
+		}
+	}
+}
+
+// TestServiceAnswersRepeatsFromCache checks the shared-memory path:
+// identical streamed requests are answered from the pstore.Cache with
+// bit-identical results and tagged as hits.
+func TestServiceAnswersRepeatsFromCache(t *testing.T) {
+	cache := pstore.NewCache(nil)
+	s, err := New(Config{Workers: 2, QueueDepth: 16, Runner: cache, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	req := Request{ID: "q", JoinRequest: workload.JoinRequest{SF: 5}}
+	first := s.Do(req)
+	if !first.OK() || first.Cache != "miss" {
+		t.Fatalf("first response: %+v", first)
+	}
+	for i := 0; i < 5; i++ {
+		r := s.Do(req)
+		if !r.OK() || r.Cache != "hit" {
+			t.Fatalf("repeat %d not a cache hit: %+v", i, r)
+		}
+		if r.Seconds != first.Seconds || r.Joules != first.Joules {
+			t.Fatalf("repeat %d result drifted: %+v vs %+v", i, r, first)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 5 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 5 hits / 1 miss", st)
+	}
+	m := s.Metrics()
+	if m.CacheHits != 5 || m.CacheMisses != 1 {
+		t.Fatalf("metrics = %+v, want 5 hits / 1 miss", m)
+	}
+}
+
+// TestServiceBurstAdmissionControl streams 1000 concurrent join requests
+// at a 2-worker, depth-8 service: admission control must engage (some
+// requests queue, some shed) and every request must get exactly one
+// response — none lost.
+func TestServiceBurstAdmissionControl(t *testing.T) {
+	const n = 1000
+	s, err := New(Config{Workers: 2, QueueDepth: 8, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := make([]report.ServiceResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			responses[i] = s.Do(Request{JoinRequest: workload.JoinRequest{SF: 5}})
+		}()
+	}
+	wg.Wait()
+	s.Close()
+
+	var ok, shed, queued int
+	for i, r := range responses {
+		switch r.Status {
+		case "ok":
+			ok++
+			if r.QueueSeconds > 0 {
+				queued++
+			}
+		case "shed":
+			shed++
+		default:
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+	if ok+shed != n {
+		t.Fatalf("lost requests: ok=%d shed=%d of %d", ok, shed, n)
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("admission control did not engage: ok=%d shed=%d", ok, shed)
+	}
+	if queued == 0 {
+		t.Fatal("no request ever waited in the queue")
+	}
+	m := s.Metrics()
+	if m.Received != n || m.OK != int64(ok) || m.Shed != int64(shed) || m.Errors != 0 {
+		t.Fatalf("metrics disagree with responses: %+v", m)
+	}
+	if m.CacheHits == 0 {
+		t.Fatalf("identical burst produced no cache hits: %+v", m)
+	}
+	if m.CacheHits+m.CacheMisses != m.OK {
+		t.Fatalf("every answered join must be a hit or a miss: %+v", m)
+	}
+	if m.Throughput <= 0 || m.MaxResponse < m.MeanResponse {
+		t.Fatalf("implausible aggregates: %+v", m)
+	}
+}
+
+// TestServiceBatchedReleasePolicy: under Batched(window) the service
+// holds admitted requests until the next window boundary.
+func TestServiceBatchedReleasePolicy(t *testing.T) {
+	cache := pstore.NewCache(nil)
+	// Warm the cache so the measured delay is queueing, not simulation.
+	warm, err := New(Config{Workers: 1, QueueDepth: 1, Runner: cache, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Do(Request{JoinRequest: workload.JoinRequest{SF: 5}})
+	warm.Close()
+
+	const window = 0.25
+	s, err := New(Config{
+		Workers: 1, QueueDepth: 4,
+		Policy: sched.Batched{Window: window},
+		Runner: cache, Engine: engineCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Do(Request{JoinRequest: workload.JoinRequest{SF: 5}})
+	if !r.OK() {
+		t.Fatalf("response: %+v", r)
+	}
+	// Arrival falls inside the first window, so launch waits for the
+	// boundary; allow generous slack below the window for scheduling.
+	if r.QueueSeconds < window/2 {
+		t.Fatalf("batched launch after %.3f s, want ~%.2f s boundary wait", r.QueueSeconds, window)
+	}
+	if r.QueueSeconds > 10*window {
+		t.Fatalf("batched launch absurdly late: %.3f s", r.QueueSeconds)
+	}
+}
+
+// TestServiceDesignRequests: design requests are answered by the
+// analytical model and match a direct Designer run.
+func TestServiceDesignRequests(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Do(Request{
+		ID: "d1", Kind: "design",
+		JoinRequest: workload.JoinRequest{BuildSel: 0.1, ProbeSel: 0.02},
+		BuildGB:     700, ProbeGB: 2800, Nodes: 8, Target: 0.6,
+	})
+	if !r.OK() || r.Design == "" {
+		t.Fatalf("design response: %+v", r)
+	}
+	base := model.FromSpecs(8, hw.ClusterV(), 0, hw.WimpyModelNode())
+	base.Bld, base.Prb = 700*1000, 2800*1000
+	base.Sbld, base.Sprb = 0.1, 0.02
+	adv, err := core.Designer{Base: base, MaxNodes: 8}.Recommend(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != adv.Best.Label() || r.Seconds != adv.Best.Seconds || r.Joules != adv.Best.Joules {
+		t.Fatalf("service design %+v, direct designer %+v", r, adv.Best)
+	}
+}
+
+// TestServiceErrorResponses: invalid requests are answered (status
+// "error"), counted, and never crash a worker.
+func TestServiceErrorResponses(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Request{
+		{ID: "m", JoinRequest: workload.JoinRequest{Method: "sort-merge"}},
+		{ID: "sf", JoinRequest: workload.JoinRequest{SF: -3}},
+		{ID: "k", Kind: "compactions"},
+		{ID: "t", Kind: "design", Target: 2},
+	}
+	for _, r := range bad {
+		resp := s.Do(r)
+		if resp.Status != "error" || resp.Error == "" {
+			t.Fatalf("request %s: %+v", r.ID, resp)
+		}
+	}
+	m := s.Metrics()
+	if m.Errors != int64(len(bad)) || m.OK != 0 {
+		t.Fatalf("metrics = %+v, want %d errors", m, len(bad))
+	}
+	s.Close()
+	// After Close, Do answers with an error instead of panicking.
+	if resp := s.Do(Request{}); resp.Status != "error" {
+		t.Fatalf("post-close response: %+v", resp)
+	}
+}
+
+// TestServiceConfigValidation rejects nonsensical pools.
+func TestServiceConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	if _, err := New(Config{QueueDepth: -2}); err == nil {
+		t.Fatal("negative QueueDepth accepted")
+	}
+	if _, err := New(Config{ClusterNodes: -4}); err == nil {
+		t.Fatal("negative ClusterNodes accepted")
+	}
+}
+
+// TestServiceZeroQueueAdmitsIdleWorkers: QueueDepth 0 means no waiting
+// room, but an idle worker must still accept work — sequential requests
+// are never shed.
+func TestServiceZeroQueueAdmitsIdleWorkers(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 0, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if r := s.Do(Request{JoinRequest: workload.JoinRequest{SF: 5}}); !r.OK() {
+			t.Fatalf("sequential request %d refused by an idle service: %+v", i, r)
+		}
+	}
+	if m := s.Metrics(); m.Shed != 0 || m.OK != 5 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

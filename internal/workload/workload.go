@@ -1,10 +1,15 @@
 // Package workload defines the standard workloads of the paper's
 // evaluation as reusable specifications: the TPC-H Q3
-// LINEITEM⋈ORDERS hash join at the experiment scale factors, and the
-// Figure 6 single-node in-memory hash-join microbenchmark.
+// LINEITEM⋈ORDERS hash join at the experiment scale factors, the
+// Figure 6 single-node in-memory hash-join microbenchmark, and the
+// JoinRequest construction used by the workload-stream service mode
+// (cmd/serve) to turn streamed JSON requests into engine JoinSpecs.
 package workload
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/cluster"
 	"repro/internal/hw"
 	"repro/internal/pstore"
@@ -80,6 +85,62 @@ func RunMicrobenchOn(r pstore.JoinRunner, spec hw.Spec) (float64, float64, error
 		return 0, 0, err
 	}
 	return res.Seconds, joules, nil
+}
+
+// JoinRequest describes one streamed join request in workload terms: the
+// paper's Q3 LINEITEM⋈ORDERS join parameterized by scale factor,
+// selectivities and physical plan. Zero values select the service
+// defaults (SF 10, 5% selectivities, dual-shuffle), so an empty JSON
+// object is a valid request.
+type JoinRequest struct {
+	SF       float64 `json:"sf,omitempty"`
+	BuildSel float64 `json:"build_sel,omitempty"`
+	ProbeSel float64 `json:"probe_sel,omitempty"`
+	// Method is "dual-shuffle", "broadcast" or "prepartitioned".
+	Method string `json:"method,omitempty"`
+}
+
+// ParseJoinMethod maps a request method name to the physical plan.
+func ParseJoinMethod(s string) (pstore.JoinMethod, error) {
+	switch s {
+	case "", "dual-shuffle":
+		return pstore.DualShuffle, nil
+	case "broadcast":
+		return pstore.Broadcast, nil
+	case "prepartitioned":
+		return pstore.Prepartitioned, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown join method %q (want dual-shuffle, broadcast or prepartitioned)", s)
+	}
+}
+
+// Spec validates the request and constructs the engine JoinSpec.
+func (r JoinRequest) Spec() (pstore.JoinSpec, error) {
+	sf := r.SF
+	if sf == 0 {
+		sf = 10
+	}
+	if sf < 0 || math.IsNaN(sf) || math.IsInf(sf, 0) {
+		return pstore.JoinSpec{}, fmt.Errorf("workload: sf must be a positive, finite number, got %v", r.SF)
+	}
+	bsel, psel := r.BuildSel, r.ProbeSel
+	if bsel == 0 {
+		bsel = 0.05
+	}
+	if psel == 0 {
+		psel = 0.05
+	}
+	if !(bsel > 0 && bsel <= 1) || !(psel > 0 && psel <= 1) {
+		return pstore.JoinSpec{}, fmt.Errorf("workload: selectivities must be in (0,1], got build=%v probe=%v", r.BuildSel, r.ProbeSel)
+	}
+	method, err := ParseJoinMethod(r.Method)
+	if err != nil {
+		return pstore.JoinSpec{}, err
+	}
+	if method == pstore.Prepartitioned {
+		return Q3JoinPrepartitioned(tpch.ScaleFactor(sf), bsel, psel), nil
+	}
+	return Q3Join(tpch.ScaleFactor(sf), bsel, psel, method), nil
 }
 
 // HeteroQ3 returns the heterogeneous-execution variant of Q3Join for a

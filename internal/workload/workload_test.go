@@ -102,3 +102,45 @@ func TestHeteroQ3SetsBuildNodes(t *testing.T) {
 		t.Fatalf("hetero spec wrong: %+v", s)
 	}
 }
+
+func TestJoinRequestSpecDefaults(t *testing.T) {
+	spec, err := JoinRequest{}.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Q3Join(10, 0.05, 0.05, pstore.DualShuffle)
+	if spec.Build != want.Build || spec.Probe != want.Probe ||
+		spec.BuildSel != want.BuildSel || spec.ProbeSel != want.ProbeSel ||
+		spec.Method != want.Method {
+		t.Fatalf("default request spec = %+v, want %+v", spec, want)
+	}
+}
+
+func TestJoinRequestSpecMethods(t *testing.T) {
+	spec, err := JoinRequest{SF: 5, BuildSel: 0.1, ProbeSel: 0.02, Method: "prepartitioned"}.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Method != pstore.Prepartitioned || spec.Build.SegmentColumn != "O_ORDERKEY" {
+		t.Fatalf("prepartitioned request built %+v", spec)
+	}
+	if _, err := (JoinRequest{Method: "sort-merge"}).Spec(); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestJoinRequestSpecRejectsBadNumbers(t *testing.T) {
+	bad := []JoinRequest{
+		{SF: -1},
+		{SF: math.NaN()},
+		{SF: math.Inf(1)},
+		{BuildSel: -0.5},
+		{BuildSel: 1.5},
+		{ProbeSel: math.NaN()},
+	}
+	for _, r := range bad {
+		if _, err := r.Spec(); err == nil {
+			t.Fatalf("request %+v accepted", r)
+		}
+	}
+}

@@ -38,17 +38,19 @@ func benchExperiment(b *testing.B, id string, metrics func(b *testing.B, rep exp
 }
 
 // benchSuite runs the full 20-experiment registry through the runner with
-// the given worker count and reports the sum of per-experiment wall times
-// divided by the elapsed wall time of the suite. Under contention the
-// per-experiment walls are themselves inflated, so this metric is an
-// optimistic indicator only; the authoritative end-to-end speedup is the
-// ns/op ratio of BenchmarkSuiteSerial to BenchmarkSuiteParallel.
-func benchSuite(b *testing.B, workers int) {
+// the given worker and intra-experiment shard counts and reports the sum
+// of per-experiment wall times divided by the elapsed wall time of the
+// suite. Under contention the per-experiment walls are themselves
+// inflated, so this metric is an optimistic indicator only; the
+// authoritative end-to-end speedup is the ns/op ratio of
+// BenchmarkSuiteSerial to BenchmarkSuiteParallel/Sharded.
+func benchSuite(b *testing.B, workers, shards int) {
 	b.Helper()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		results, err := runner.Run(experiments.Registry(), runner.Options{Workers: workers})
+		results, err := runner.Run(experiments.Registry(), runner.Options{
+			Workers: workers, Exp: experiments.Options{Shards: shards}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,12 +64,17 @@ func benchSuite(b *testing.B, workers int) {
 	b.ReportMetric(speedup, "aggregate-speedup")
 }
 
-// BenchmarkSuiteSerial is the single-worker baseline for the full
-// evaluation; BenchmarkSuiteParallel fans it out over GOMAXPROCS workers.
-// Comparing ns/op between the two gives the end-to-end speedup of the
-// parallel runner on this machine.
-func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
-func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+// BenchmarkSuiteSerial is the fully serial baseline for the full
+// evaluation (one worker, no intra-experiment sharding): its ns/op is
+// the raw kernel + data-path speed the BENCH_*.json trajectory tracks.
+// BenchmarkSuiteParallel fans whole experiments out over GOMAXPROCS
+// workers; BenchmarkSuiteSharded keeps one experiment at a time but
+// shards each experiment's simulation grid over GOMAXPROCS workers (the
+// cmd/repro -sf 1000 configuration). Results are byte-identical across
+// all three — only wall time differs.
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0, 1) }
+func BenchmarkSuiteSharded(b *testing.B)  { benchSuite(b, 1, 0) }
 
 // BenchmarkSuiteCachedParallel additionally shares a memoizing join cache
 // across the suite (the cmd/repro default): identical engine joins in

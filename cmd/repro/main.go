@@ -10,27 +10,38 @@
 //	repro -exp fig3 -csv           emit the series as CSV instead of text
 //	repro -exp fig3 -json          emit structured JSON (typed tables, no text blocks)
 //	repro -exp fig3 -sf 50         override the figure 3-5 engine scale factor
+//	repro -exp fig3 -sf 1000       paper-scale run (sharded across cores)
 //	repro -exp all -md -o EXPERIMENTS.md   write the Markdown record
+//	repro -exp all -bench-json     also write a BENCH_<date>.json snapshot
+//	repro -exp fig3 -cpuprofile cpu.prof   capture a pprof CPU profile
 //
 // Experiments run concurrently on a bounded worker pool (one private
 // simulation engine each); output is always printed in paper order and is
-// byte-identical to a serial run. Identical engine joins are memoized
-// across experiments (fig3/fig4/fig5, fig7a/fig8, fig7b/fig9 share
-// simulations); disable with -cache=false.
+// byte-identical to a serial run. Within each experiment, independent
+// grid points (cluster sizes x concurrency levels, selectivity values)
+// additionally shard across -shards workers — also without changing a
+// byte of output. Identical engine joins are memoized across experiments
+// (fig3/fig4/fig5, fig7a/fig8, fig7b/fig9 share simulations); disable
+// with -cache=false.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/pstore"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/tpch"
 )
 
@@ -45,11 +56,23 @@ func main() {
 		workers  = flag.Int("j", 0, "parallel workers (default GOMAXPROCS)")
 		failFast = flag.Bool("fail-fast", false, "abort on first experiment failure")
 		times    = flag.Bool("times", false, "print per-experiment wall times (and cache stats) to stderr")
-		sf       = flag.Float64("sf", 0, "TPC-H scale factor for the figure 3-5 engine runs (default 100)")
+		sf       = flag.Float64("sf", 0, "TPC-H scale factor for the figure 3-5 engine runs (default 100; the paper's is 1000)")
 		conc     = flag.String("conc", "", "comma-separated concurrency levels for fig3/fig4 (default 1,2,4)")
 		cache    = flag.Bool("cache", true, "memoize identical engine joins across experiments")
+		shards   = flag.Int("shards", 0, "intra-experiment shard workers for engine-backed figures (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		benchOut = flag.Bool("bench-json", false, "write a machine-readable BENCH_<date>.json perf snapshot of the run")
 	)
 	flag.Parse()
+
+	// fatal flushes the CPU profile (os.Exit skips defers) before exiting;
+	// StopCPUProfile is a no-op when profiling never started.
+	fatal := func(code int, v any) {
+		fmt.Fprintln(os.Stderr, v)
+		pprof.StopCPUProfile()
+		os.Exit(code)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -62,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: -sf must be a positive, finite number (0 = default), got %v\n", *sf)
 		os.Exit(2)
 	}
-	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf)}
+	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards}
 	if *conc != "" {
 		for _, f := range strings.Split(*conc, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
@@ -89,23 +112,40 @@ func main() {
 		expOpts.Joins = joinCache
 	}
 
+	// Flags are validated; start profiling just before real work so a
+	// usage error can no longer truncate the profile.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(1, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(1, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	patterns := strings.Split(*exp, ",")
 	for i := range patterns {
 		patterns[i] = strings.TrimSpace(patterns[i])
 	}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	events0 := sim.TotalEvents()
+	start := time.Now()
 	results, err := runner.RunIDs(patterns, runner.Options{Workers: *workers, FailFast: *failFast, Exp: expOpts})
+	wall := time.Since(start)
 	if results == nil && err != nil {
 		// Selection failed (unknown ID / bad glob) — nothing ran.
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(2, err)
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		f, ferr := os.Create(*out)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
+			fatal(1, ferr)
 		}
 		defer f.Close()
 		w = f
@@ -130,8 +170,7 @@ func main() {
 		werr = report.WriteText(w, results)
 	}
 	if werr != nil {
-		fmt.Fprintln(os.Stderr, werr)
-		os.Exit(1)
+		fatal(1, werr)
 	}
 
 	if *times {
@@ -144,8 +183,122 @@ func main() {
 				s.Requests(), s.Hits, s.Misses)
 		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *benchOut {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		path, berr := writeBenchSnapshot(benchInputs{
+			results: results, wall: wall,
+			events: sim.TotalEvents() - events0,
+			allocs: ms1.Mallocs - ms0.Mallocs,
+			bytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+			sf:     *sf, workers: *workers, shards: *shards, cache: joinCache,
+		})
+		if berr != nil {
+			fatal(1, berr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fatal(1, ferr)
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fatal(1, werr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		fatal(1, err)
+	}
+}
+
+// benchInputs carries the measurements of one run into the snapshot
+// writer.
+type benchInputs struct {
+	results []runner.Result
+	wall    time.Duration
+	events  uint64
+	allocs  uint64
+	bytes   uint64
+	sf      float64
+	workers int
+	shards  int
+	cache   *pstore.Cache
+}
+
+// benchSnapshot is the BENCH_<date>.json schema: enough to track the
+// repo's performance trajectory across PRs — wall time, simulator
+// throughput (events/sec) and allocation pressure — plus the
+// configuration that produced it, so snapshots are comparable.
+type benchSnapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	SF         float64 `json:"sf"` // 0 = per-experiment defaults
+	Workers    int     `json:"workers"`
+	Shards     int     `json:"shards"`
+	Cached     bool    `json:"cached"`
+
+	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	Allocs           uint64  `json:"allocs"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	AllocBytes       uint64  `json:"alloc_bytes"`
+
+	CacheRequests int64 `json:"cache_requests,omitempty"`
+	CacheHits     int64 `json:"cache_hits,omitempty"`
+	CacheMisses   int64 `json:"cache_misses,omitempty"`
+
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// benchExperiment is one experiment's wall time within the run.
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// writeBenchSnapshot writes BENCH_<YYYY-MM-DD>.json in the working
+// directory and returns its path.
+func writeBenchSnapshot(in benchInputs) (string, error) {
+	snap := benchSnapshot{
+		Date:             time.Now().Format("2006-01-02"),
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		SF:               in.sf,
+		Workers:          in.workers,
+		Shards:           in.shards,
+		Cached:           in.cache != nil,
+		SuiteWallSeconds: in.wall.Seconds(),
+		Events:           in.events,
+		Allocs:           in.allocs,
+		AllocBytes:       in.bytes,
+	}
+	if s := in.wall.Seconds(); s > 0 {
+		snap.EventsPerSec = float64(in.events) / s
+	}
+	if in.events > 0 {
+		snap.AllocsPerEvent = float64(in.allocs) / float64(in.events)
+	}
+	if in.cache != nil {
+		s := in.cache.Stats()
+		snap.CacheRequests, snap.CacheHits, snap.CacheMisses = s.Requests(), s.Hits, s.Misses
+	}
+	for _, r := range in.results {
+		be := benchExperiment{ID: r.Experiment.ID, WallMS: float64(r.Wall.Microseconds()) / 1000}
+		if r.Err != nil {
+			be.Error = r.Err.Error()
+		}
+		snap.Experiments = append(snap.Experiments, be)
+	}
+	path := "BENCH_" + snap.Date + ".json"
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
 }

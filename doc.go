@@ -24,13 +24,25 @@
 // Per-request and aggregate reports are typed JSON
 // (report.ServiceResponse, report.ServiceMetrics).
 //
+// The engine-backed figures run at the paper's scale factor 1000 with
+// `cmd/repro -sf 1000`: the internal/sim kernel uses direct-handoff
+// scheduling (one goroutine wakeup per context switch, a 4-ary event
+// heap, an at-now FIFO fast path, zero steady-state allocations), the
+// join data path builds on an open-addressing hash table and streaming
+// batch cursors, and each experiment's simulation grid shards across
+// workers (-shards) without changing a byte of output. `-bench-json`
+// records a run's wall time, events/sec and allocation pressure in
+// BENCH_<date>.json — the repo's performance trajectory — and
+// `-cpuprofile`/`-memprofile` write pprof profiles of any run.
+//
 // Start with README.md for the tour and system inventory, and
 // EXPERIMENTS.md for the generated paper-vs-measured record (regenerate
 // with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`; `-json`
 // emits the machine-readable form). The benchmarks in this package
 // (bench_test.go, ablation_bench_test.go) regenerate each experiment;
-// the Suite trio measures the parallel runner's end-to-end speedup and
-// the join cache's hit rate:
+// the Suite benchmarks measure the serial baseline, the parallel
+// runner's end-to-end speedup, intra-experiment sharding, and the join
+// cache's hit rate:
 //
 //	go test -bench=. -benchmem
 package repro

@@ -14,8 +14,12 @@
 // quantity is a ratio between cluster designs, and all phases scale
 // linearly in data volume, so the normalized curves are scale-invariant
 // (verified by TestFig3ScaleInvariance). Options overrides the scale
-// factor, the concurrency levels, and the join runner (inject a shared
-// *pstore.Cache to memoize identical joins across experiments).
+// factor (cmd/repro -sf 1000 reproduces the paper's scale directly),
+// the concurrency levels, the join runner (inject a shared
+// *pstore.Cache to memoize identical joins across experiments), and
+// the intra-experiment shard worker count (each experiment's grid of
+// independent simulations fans out over par.Map with byte-identical
+// output; see TestShardedMatchesSerial).
 package experiments
 
 import (

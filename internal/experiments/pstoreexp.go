@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/pstore"
 	"repro/internal/tpch"
@@ -23,26 +24,37 @@ func engineCfg() pstore.Config {
 
 // runSizes runs the given join spec at each cluster size and concurrency
 // level, returning one normalized series per concurrency level (the
-// paper's subfigures (a)-(c)).
+// paper's subfigures (a)-(c)). The (concurrency, size) grid points are
+// independent simulations, so they shard across o.Shards workers; the
+// series are reassembled in grid order, byte-identical to a serial run.
 func runSizes(o Options, title string, mkSpec func() pstore.JoinSpec, sizes []int, spec hw.Spec) ([]metrics.Series, error) {
-	var out []metrics.Series
+	type point struct{ k, n int }
+	var grid []point
 	for _, k := range o.Concurrency {
-		var pts []power.Point
 		for _, n := range sizes {
-			c, err := cluster.New(cluster.Homogeneous(n, spec))
-			if err != nil {
-				return nil, err
-			}
-			makespan, _, joules, err := o.Joins.RunConcurrent(c, engineCfg(), mkSpec(), k)
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d k=%d: %w", title, n, k, err)
-			}
-			pts = append(pts, power.Point{
-				Label: fmt.Sprintf("%dN", n), Seconds: makespan, Joules: joules,
-			})
+			grid = append(grid, point{k, n})
 		}
+	}
+	pts, err := par.Map(o.Shards, grid, func(_ int, pt point) (power.Point, error) {
+		c, err := cluster.New(cluster.Homogeneous(pt.n, spec))
+		if err != nil {
+			return power.Point{}, err
+		}
+		makespan, _, joules, err := o.Joins.RunConcurrent(c, engineCfg(), mkSpec(), pt.k)
+		if err != nil {
+			return power.Point{}, fmt.Errorf("%s n=%d k=%d: %w", title, pt.n, pt.k, err)
+		}
+		return power.Point{
+			Label: fmt.Sprintf("%dN", pt.n), Seconds: makespan, Joules: joules,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []metrics.Series
+	for i, k := range o.Concurrency {
 		s, err := metrics.NewSeries(fmt.Sprintf("%s — %d concurrent", title, k),
-			pts, fmt.Sprintf("%dN", sizes[0]))
+			pts[i*len(sizes):(i+1)*len(sizes)], fmt.Sprintf("%dN", sizes[0]))
 		if err != nil {
 			return nil, err
 		}
@@ -113,22 +125,37 @@ func Fig5(o Options) (Result, error) {
 	}
 	tbl := NewTable("summary", "plan", "8N time(s)", "4N time(s)", "energy ratio", "perf ratio").
 		Header("%-28s %12s %12s %14s %12s\n")
+	// The six (plan, size) runs are independent: shard them, then emit
+	// table rows and pairs in plan order as before.
+	sizes := []int{8, 4}
+	type run struct {
+		pl plan
+		n  int
+	}
+	var grid []run
+	for _, pl := range plans {
+		for _, n := range sizes {
+			grid = append(grid, run{pl, n})
+		}
+	}
+	pts, err := par.Map(o.Shards, grid, func(_ int, r run) (power.Point, error) {
+		c, err := cluster.New(cluster.Homogeneous(r.n, hw.ClusterV()))
+		if err != nil {
+			return power.Point{}, err
+		}
+		res, joules, err := o.Joins.RunJoin(c, engineCfg(), r.pl.mk())
+		if err != nil {
+			return power.Point{}, fmt.Errorf("%s n=%d: %w", r.pl.name, r.n, err)
+		}
+		return power.Point{Label: fmt.Sprintf("%dN", r.n), Seconds: res.Seconds, Joules: joules}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
 	var pairs []metrics.Pair
 	var series []metrics.Series
-	for _, pl := range plans {
-		var pts []power.Point
-		for _, n := range []int{8, 4} {
-			c, err := cluster.New(cluster.Homogeneous(n, hw.ClusterV()))
-			if err != nil {
-				return Result{}, err
-			}
-			res, joules, err := o.Joins.RunJoin(c, engineCfg(), pl.mk())
-			if err != nil {
-				return Result{}, fmt.Errorf("%s n=%d: %w", pl.name, n, err)
-			}
-			pts = append(pts, power.Point{Label: fmt.Sprintf("%dN", n), Seconds: res.Seconds, Joules: joules})
-		}
-		s, err := metrics.NewSeries("Fig 5 — "+pl.name, pts, "8N")
+	for pi, pl := range plans {
+		s, err := metrics.NewSeries("Fig 5 — "+pl.name, pts[pi*len(sizes):(pi+1)*len(sizes)], "8N")
 		if err != nil {
 			return Result{}, err
 		}
@@ -177,11 +204,17 @@ func Fig6(o Options) (Result, error) {
 		hw.LaptopA().Name:      {38, 950},
 		hw.LaptopBMicro().Name: {25, 800},
 	}
-	for _, s := range hw.MicrobenchSystems() {
+	type outcome struct{ sec, j float64 }
+	systems := hw.MicrobenchSystems()
+	outs, err := par.Map(o.Shards, systems, func(_ int, s hw.Spec) (outcome, error) {
 		sec, j, err := workload.RunMicrobenchOn(o.Joins, s)
-		if err != nil {
-			return Result{}, err
-		}
+		return outcome{sec, j}, err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for i, s := range systems {
+		sec, j := outs[i].sec, outs[i].j
 		tbl.Row("%-26s %14.1f %14.0f\n", s.Name, sec, j)
 		a := anchors[s.Name]
 		pairs = append(pairs,
@@ -198,35 +231,57 @@ var fig7LSels = []float64{0.01, 0.10, 0.50, 1.00}
 
 // RunFig7 executes the SF400 dual-shuffle joins on the all-Beefy (AB) and
 // 2-Beefy/2-Wimpy (BW) clusters through o.Joins. hetero selects
-// heterogeneous execution for the BW cluster (ORDERS 10% regime).
+// heterogeneous execution for the BW cluster (ORDERS 10% regime). The
+// eight (LINEITEM selectivity, cluster design) runs are independent
+// simulations and shard across o.Shards workers.
 func RunFig7(o Options, oSel float64, hetero bool) (ab, bw map[float64]pstore.JoinResult, abJ, bwJ map[float64]float64, err error) {
 	o = o.withDefaults()
+	type point struct {
+		lSel float64
+		bwC  bool // false = all-Beefy, true = Beefy/Wimpy
+	}
+	type outcome struct {
+		res    pstore.JoinResult
+		joules float64
+	}
+	var grid []point
+	for _, lSel := range fig7LSels {
+		grid = append(grid, point{lSel, false}, point{lSel, true})
+	}
+	outs, err := par.Map(o.Shards, grid, func(_ int, pt point) (outcome, error) {
+		spec := workload.Q3Join(400, oSel, pt.lSel, pstore.DualShuffle)
+		var c *cluster.Cluster
+		var e error
+		tag := "AB"
+		if pt.bwC {
+			tag = "BW"
+			c, e = cluster.New(cluster.Mixed(2, hw.BeefyL5630(), 2, hw.LaptopB()))
+			if hetero {
+				spec.BuildNodes = []int{0, 1}
+			}
+		} else {
+			c, e = cluster.New(cluster.Homogeneous(4, hw.BeefyL5630()))
+		}
+		if e != nil {
+			return outcome{}, e
+		}
+		res, joules, e := o.Joins.RunJoin(c, engineCfg(), spec)
+		if e != nil {
+			return outcome{}, fmt.Errorf("%s O%v/L%v: %w", tag, oSel, pt.lSel, e)
+		}
+		return outcome{res, joules}, nil
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	ab, bw = map[float64]pstore.JoinResult{}, map[float64]pstore.JoinResult{}
 	abJ, bwJ = map[float64]float64{}, map[float64]float64{}
-	for _, lSel := range fig7LSels {
-		cAB, e := cluster.New(cluster.Homogeneous(4, hw.BeefyL5630()))
-		if e != nil {
-			return nil, nil, nil, nil, e
+	for i, pt := range grid {
+		if pt.bwC {
+			bw[pt.lSel], bwJ[pt.lSel] = outs[i].res, outs[i].joules
+		} else {
+			ab[pt.lSel], abJ[pt.lSel] = outs[i].res, outs[i].joules
 		}
-		res, joules, e := o.Joins.RunJoin(cAB, engineCfg(), workload.Q3Join(400, oSel, lSel, pstore.DualShuffle))
-		if e != nil {
-			return nil, nil, nil, nil, fmt.Errorf("AB O%v/L%v: %w", oSel, lSel, e)
-		}
-		ab[lSel], abJ[lSel] = res, joules
-
-		cBW, e := cluster.New(cluster.Mixed(2, hw.BeefyL5630(), 2, hw.LaptopB()))
-		if e != nil {
-			return nil, nil, nil, nil, e
-		}
-		spec := workload.Q3Join(400, oSel, lSel, pstore.DualShuffle)
-		if hetero {
-			spec.BuildNodes = []int{0, 1}
-		}
-		res, joules, e = o.Joins.RunJoin(cBW, engineCfg(), spec)
-		if e != nil {
-			return nil, nil, nil, nil, fmt.Errorf("BW O%v/L%v: %w", oSel, lSel, e)
-		}
-		bw[lSel], bwJ[lSel] = res, joules
 	}
 	return ab, bw, abJ, bwJ, nil
 }

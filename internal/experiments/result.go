@@ -25,6 +25,14 @@ type Options struct {
 	// across experiments — fig3/fig4/fig5, fig7a/fig8 and fig7b/fig9
 	// re-simulate the same joins. Default: pstore.Engine{} (uncached).
 	Joins pstore.JoinRunner
+	// Shards bounds the worker pool for intra-experiment sharding: the
+	// independent simulation points inside one experiment (cluster size x
+	// concurrency grids, selectivity grid values, plan candidates,
+	// microbench systems) fan out over par.Map. Every point owns a
+	// private engine and outputs are reassembled in grid order, so the
+	// Result is byte-identical at any setting (TestShardedMatchesSerial).
+	// <= 0 means GOMAXPROCS; 1 runs the grid serially.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {

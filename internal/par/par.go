@@ -1,0 +1,58 @@
+// Package par provides the bounded-parallelism primitive shared by every
+// layer that fans independent simulations out over workers: the
+// experiment runner (whole experiments), the intra-experiment sharding
+// in internal/experiments (grid points within one experiment), the
+// designer CLI's scenario grids and the benchmark suite. It is a leaf
+// package precisely so that runner (which sits above experiments) and
+// experiments itself can both use it without an import cycle.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// outputs in input order. Any list of independent simulations (each
+// owning its private engine) can fan out through it without changing its
+// results: outputs are positional, and the first error (by input order,
+// not completion order) is returned, exactly as a serial loop would
+// report it. Outputs of failed items are their zero value.
+//
+// workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 degenerates to
+// a serial loop on one worker goroutine.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	errs := make([]error, len(items))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -53,8 +53,8 @@ func (d DimJoin) Validate() error {
 // plus the selectivity for phantom accounting.
 type dimFilter struct {
 	spec    DimJoin
-	qualify map[int64]bool // nil for phantom runs
-	frac    float64        // fractional-row accumulator (phantom)
+	qualify *storage.Int64Table // nil for phantom runs
+	frac    float64             // fractional-row accumulator (phantom)
 }
 
 // buildDimFilters constructs the per-query dimension filters and charges
@@ -69,13 +69,13 @@ func (e *Exec) buildDimFilters(dims []DimJoin, materialized bool) ([]*dimFilter,
 		}
 		f := &dimFilter{spec: d}
 		if materialized {
-			f.qualify = make(map[int64]bool)
 			thr := tpch.SelThreshold(d.Sel)
 			n := d.Dim.TotalRows()
+			f.qualify = storage.NewInt64Table(int(float64(n) * d.Sel))
 			for i := int64(0); i < n; i++ {
 				key, sel := refRow(d.Dim, i)
 				if sel < thr {
-					f.qualify[key] = true
+					f.qualify.Add(key, 1)
 				}
 			}
 		}
@@ -103,7 +103,7 @@ func applyDimFilters(p *sim.Proc, cpu *sim.Server, filters []*dimFilter, b stora
 		col := b.Cols[f.spec.KeyCol]
 		var idx []int
 		for i := 0; i < b.Rows; i++ {
-			if f.qualify[col.Int64(i)] {
+			if f.qualify.Get(col.Int64(i)) != 0 {
 				idx = append(idx, i)
 			}
 		}

@@ -11,10 +11,13 @@ import (
 	"repro/internal/tpch"
 )
 
-// hashTable is a per-node build-side multiset (key -> multiplicity).
+// hashTable is a per-node build-side multiset (key -> multiplicity),
+// backed by an open-addressing storage.Int64Table pre-sized from the
+// build partition row counts so steady-state inserts never rehash.
 // Phantom runs track only row/byte totals.
 type hashTable struct {
-	counts map[int64]int64
+	counts *storage.Int64Table
+	hint   int // expected distinct build keys on this node
 	rows   int64
 	bytes  float64
 }
@@ -26,11 +29,11 @@ func (h *hashTable) insertBatch(b storage.Batch) {
 		return
 	}
 	if h.counts == nil {
-		h.counts = make(map[int64]int64)
+		h.counts = storage.NewInt64Table(h.hint)
 	}
 	keys := b.Cols[storage.ColKey]
 	for i := 0; i < b.Rows; i++ {
-		h.counts[keys.Int64(i)]++
+		h.counts.Add(keys.Int64(i), 1)
 	}
 }
 
@@ -42,12 +45,17 @@ func (h *hashTable) probeBatch(b storage.Batch, matchRate float64, fracAcc *floa
 		*fracAcc -= float64(out)
 		return out, 0
 	}
+	if h.counts == nil {
+		// No build batch ever reached this node (nothing qualified): every
+		// probe misses, as the nil-map read did before Int64Table.
+		return 0, 0
+	}
 	var matches int64
 	var sum uint64
 	keys := b.Cols[storage.ColKey]
 	for i := 0; i < b.Rows; i++ {
 		k := keys.Int64(i)
-		if c := h.counts[k]; c > 0 {
+		if c := h.counts.Get(k); c > 0 {
 			matches += c
 			sum += uint64(k) * uint64(c)
 		}
@@ -114,8 +122,15 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		tables:     make(map[int]*hashTable, len(buildNodes)),
 		fracByNode: make(map[int]*float64, len(buildNodes)),
 	}
+	// Pre-size each owner's hash table from the build cardinality: every
+	// owner holds a full copy under broadcast, a 1/len(buildNodes) share
+	// under the hash-routed plans.
+	hint := int(float64(spec.Build.TotalRows()) * spec.BuildSel)
+	if spec.Method != Broadcast && len(buildNodes) > 0 {
+		hint = hint/len(buildNodes) + 1
+	}
 	for _, b := range buildNodes {
-		h.tables[b] = &hashTable{}
+		h.tables[b] = &hashTable{hint: hint}
 		var f float64
 		h.fracByNode[b] = &f
 	}
@@ -146,6 +161,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		b := b
 		node := e.C.Nodes[b]
 		e.C.Eng.Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
+			ht := h.tables[b]
 			var buf []storage.Batch
 			for {
 				batches, ok := buildMB[b].RecvManyInto(p, buf[:0], 64)
@@ -159,7 +175,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 				}
 				node.CPU.Process(p, bytes*e.cfg.JoinWork)
 				for _, batch := range batches {
-					h.tables[b].insertBatch(batch)
+					ht.insertBatch(batch)
 				}
 			}
 			h.buildWG.Done()
@@ -218,6 +234,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		b := b
 		node := e.C.Nodes[b]
 		e.C.Eng.Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
+			ht, frac := h.tables[b], h.fracByNode[b]
 			var buf []storage.Batch
 			for {
 				batches, ok := probeMB[b].RecvManyInto(p, buf[:0], 64)
@@ -231,7 +248,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 				}
 				node.CPU.Process(p, bytes*e.cfg.JoinWork)
 				for _, batch := range batches {
-					rows, sum := h.tables[b].probeBatch(batch, matchRate, h.fracByNode[b])
+					rows, sum := ht.probeBatch(batch, matchRate, frac)
 					h.outRows += rows
 					h.checksum += sum
 				}

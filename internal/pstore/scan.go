@@ -27,7 +27,6 @@ import (
 func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partition,
 	sel float64, emit func(p *sim.Proc, b storage.Batch)) {
 
-	batches := part.Batches(e.cfg.BatchRows)
 	thr := tpch.SelThreshold(sel)
 	selIdx := selColIndex(part.Def.Table)
 
@@ -36,12 +35,23 @@ func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partiti
 	// Row-index scratch reused across materialized batches.
 	var idx []int
 
+	// Cursors stream blocks without materializing the per-scan []Batch
+	// slice (a paper-scale phantom scan is tens of thousands of blocks).
+	// Warm scans consume the cursor directly; cold scans iterate it from
+	// the disk-pump process instead and read the prefetch queue here.
+	var cur storage.BatchCursor
 	var prefetch *sim.Queue[storage.Batch]
-	if !e.cfg.WarmCache {
+	if e.cfg.WarmCache {
+		cur = part.Cursor(e.cfg.BatchRows)
+	} else {
 		prefetch = sim.NewQueue[storage.Batch](fmt.Sprintf("n%d.prefetch", node.ID), 4)
-		batchesCopy := batches
 		p.Engine().Go(fmt.Sprintf("n%d.diskpump", node.ID), func(dp *sim.Proc) {
-			for _, b := range batchesCopy {
+			pump := part.Cursor(e.cfg.BatchRows)
+			for {
+				b, ok := pump.Next()
+				if !ok {
+					break
+				}
 				node.Disk.Process(dp, b.Bytes())
 				prefetch.Put(dp, b)
 			}
@@ -49,18 +59,15 @@ func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partiti
 		})
 	}
 
-	next := func(i int) (storage.Batch, bool) {
+	next := func() (storage.Batch, bool) {
 		if e.cfg.WarmCache {
-			if i >= len(batches) {
-				return storage.Batch{}, false
-			}
-			return batches[i], true
+			return cur.Next()
 		}
 		return prefetch.Get(p)
 	}
 
-	for i := 0; ; i++ {
-		b, ok := next(i)
+	for {
+		b, ok := next()
 		if !ok {
 			break
 		}

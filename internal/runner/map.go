@@ -1,50 +1,15 @@
 package runner
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/par"
 
 // Map applies fn to every item on a bounded worker pool and returns the
-// outputs in input order. It is the generic parallel primitive behind the
-// experiment harness, the designer CLI's scenario grids and the benchmark
-// suite: any list of independent simulations (each owning its private
-// engine) can fan out through it without changing its results.
+// outputs in input order. It is re-exported from internal/par (the leaf
+// package the experiment generators also shard through) so existing
+// callers — the designer CLI's scenario grids and the benchmark suite —
+// keep working unchanged.
 //
 // workers <= 0 means runtime.GOMAXPROCS(0). The first error (by input
 // order) is returned; outputs of failed items are their zero value.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
-	out := make([]R, len(items))
-	if len(items) == 0 {
-		return out, nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	errs := make([]error, len(items))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i], errs[i] = fn(i, items[i])
-			}
-		}()
-	}
-	for i := range items {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return par.Map(workers, items, fn)
 }

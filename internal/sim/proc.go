@@ -1,72 +1,119 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Proc is a simulated process: a goroutine that runs in lock-step with the
 // simulation scheduler. At any instant at most one process (or event
 // callback) executes; a process runs until it blocks on a simulation
 // primitive (Hold, Queue.Get/Put, Server.Process, WaitGroup.Wait, ...),
-// at which point control returns to the scheduler.
+// at which point it hands control onward (direct handoff: it drives the
+// event loop itself until another process is due, then parks on its own
+// token channel).
 //
 // All blocking methods must be called only from within the process's own
 // body function.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
+	eng  *Engine
+	name string
+	tok  chan struct{} // the control token; receiving it means "run"
+
+	// wake is the process's reusable resume callback, allocated once at
+	// spawn: wait-lists (queues, wait groups, events) store it instead of
+	// building a fresh closure per yield (the former top allocation site
+	// of the whole simulator).
+	wake func()
+
+	done bool
 }
+
+// ProcPanic is the value re-thrown on the scheduler side when a process
+// body panics: the panic value is handed back through the yield handoff
+// and unwinds out of Engine.Step (or Run/RunUntil) tagged with the
+// process name, where tests and callers can recover it. The original
+// panic value is preserved in Value.
+type ProcPanic struct {
+	Proc  string
+	Value any
+}
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", pp.Proc, pp.Value)
+}
+
+func (pp *ProcPanic) String() string { return pp.Error() }
 
 // Go spawns a new simulated process executing body. The process starts at
 // the current virtual time (as a scheduled event, after already-queued
-// events at this timestamp).
+// events at this timestamp); the goroutine itself is created only when
+// that event fires.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:  e,
+		name: name,
+		tok:  make(chan struct{}),
 	}
+	p.wake = func() { p.eng.resumeAt(p.eng.now, p) }
 	e.live++
-	started := false
-	e.Schedule(0, func() {
-		if started {
-			return
-		}
-		started = true
-		go func() {
-			<-p.resume
-			defer func() {
-				if r := recover(); r != nil {
-					// Re-panic on the scheduler side with context.
-					p.done = true
-					p.eng.live--
-					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-				}
-			}()
-			body(p)
-			p.done = true
-			p.eng.live--
-			p.yield <- struct{}{}
-		}()
-		p.dispatch()
-	})
+	e.at(e.now, func() { go p.run(body) }, p)
 	return p
 }
 
-// dispatch transfers control to the process and waits for it to yield
-// back. Called only from scheduler context.
-func (p *Proc) dispatch() {
-	p.resume <- struct{}{}
-	<-p.yield
+// run is the process goroutine: it waits for its first token, executes
+// the body, and on exit — normal or panicking — returns control to the
+// simulation. A body panic is handed to the root caller (Run/Step),
+// which re-throws it as *ProcPanic; the engine is left intact, so the
+// failure is observable and recoverable from the outside.
+func (p *Proc) run(body func(p *Proc)) {
+	<-p.tok
+	defer func() {
+		if r := recover(); r != nil {
+			p.done = true
+			p.eng.live--
+			p.eng.pendingPanic = &ProcPanic{Proc: p.name, Value: r}
+			p.eng.root <- struct{}{}
+		}
+	}()
+	body(p)
+	p.done = true
+	p.eng.live--
+	p.exit()
 }
 
-// block yields control back to the scheduler and waits to be resumed.
-// Called only from process context.
+// exit hands control onward after the body returned: drive the loop (a
+// finished process cannot be resumed, so outSelf is impossible) and wake
+// the root if the run is over.
+func (p *Proc) exit() {
+	e := p.eng
+	if e.stepping || e.drive(nil) == outDone {
+		e.root <- struct{}{}
+	}
+}
+
+// block yields control and waits to be resumed. Called only from process
+// context, always after scheduling (or registering) this process's own
+// resume. The blocked process drives the event loop itself: if its own
+// resume is the next event it simply continues (zero handoffs); if
+// another process is due it hands the token straight over (one handoff);
+// only when the run ends does it wake the root and park.
 func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.resume
+	e := p.eng
+	if e.stepping {
+		e.root <- struct{}{}
+		<-p.tok
+		return
+	}
+	switch e.drive(p) {
+	case outSelf:
+		return
+	case outDone:
+		e.root <- struct{}{}
+		<-p.tok
+	default: // outTransferred
+		<-p.tok
+	}
 }
 
 // Engine returns the engine this process runs on.
@@ -83,13 +130,11 @@ func (p *Proc) Hold(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s Hold(%v) negative", p.name, d))
 	}
-	if d == 0 {
-		// Even a zero hold yields to the scheduler, preserving fairness.
-		p.eng.Schedule(0, func() { p.dispatch() })
-		p.block()
-		return
+	if math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", d, p.eng.now))
 	}
-	p.eng.Schedule(d, func() { p.dispatch() })
+	// Even a zero hold yields to the scheduler, preserving fairness.
+	p.eng.resumeAt(p.eng.now+d, p)
 	p.block()
 }
 
@@ -98,17 +143,16 @@ func (p *Proc) HoldUntil(t Time) {
 	if t < p.eng.now {
 		panic(fmt.Sprintf("sim: %s HoldUntil(%v) in the past (now=%v)", p.name, t, p.eng.now))
 	}
-	p.eng.At(t, func() { p.dispatch() })
+	p.eng.resumeAt(t, p)
 	p.block()
 }
 
-// waitOn parks the process on an external wait-list. The wake function
-// passed to the registrar must eventually be invoked (from scheduler
-// context) to resume the process.
-func (p *Proc) waitOn(register func(wake func())) {
-	register(func() {
-		p.eng.Schedule(0, func() { p.dispatch() })
-	})
+// parkOn appends the process's reusable wake callback to an external
+// wait-list and blocks. Whoever drains the list must invoke the callback
+// (from simulation context) to resume the process; the callback schedules
+// the resume as an at-now event so virtual time stays coherent.
+func (p *Proc) parkOn(waiters *[]func()) {
+	*waiters = append(*waiters, p.wake)
 	p.block()
 }
 
@@ -142,7 +186,7 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	if wg.count == 0 {
 		return
 	}
-	p.waitOn(func(wake func()) { wg.waiters = append(wg.waiters, wake) })
+	p.parkOn(&wg.waiters)
 }
 
 // Event is a one-shot broadcast signal: processes wait until Fire is
@@ -173,5 +217,5 @@ func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
 	}
-	p.waitOn(func(wake func()) { ev.waiters = append(ev.waiters, wake) })
+	p.parkOn(&ev.waiters)
 }

@@ -84,7 +84,7 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 		if q.closed {
 			panic("sim: Put on closed queue " + q.name)
 		}
-		p.waitOn(func(wake func()) { q.putters = append(q.putters, wake) })
+		p.parkOn(&q.putters)
 	}
 	if q.closed {
 		panic("sim: Put on closed queue " + q.name)
@@ -124,7 +124,7 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 			var zero T
 			return zero, false
 		}
-		p.waitOn(func(wake func()) { q.getters = append(q.getters, wake) })
+		p.parkOn(&q.getters)
 	}
 	v = q.shift()
 	q.wakePutters()

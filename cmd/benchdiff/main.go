@@ -1,0 +1,78 @@
+// Command benchdiff compares two BENCH_*.json performance snapshots
+// (written by cmd/repro -bench-json) and fails when the newer one
+// regresses: CI's perf gate.
+//
+// Usage:
+//
+//	benchdiff [-threshold 30] [-min-wall-ms 50] baseline.json fresh.json
+//
+// Compared metrics: suite wall seconds, simulator events/sec,
+// allocations per event, and each experiment's wall time (experiments
+// faster than -min-wall-ms in both snapshots are skipped — relative
+// noise on sub-millisecond rows means nothing). The comparison prints as
+// a Markdown table (pipe it into $GITHUB_STEP_SUMMARY); the exit status
+// is 1 when any metric regresses beyond -threshold percent, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 30, "allowed regression per metric, in percent")
+		minWall   = flag.Float64("min-wall-ms", 50, "per-experiment noise floor: skip rows below this wall time in both snapshots")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be >= 0")
+		os.Exit(2)
+	}
+
+	base, err := bench.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := bench.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	// Wall-time comparisons only mean something when both runs did the
+	// same amount of work with the same parallelism: warn on any config
+	// skew (the perf-gate pins -j 1 -shards 1 for exactly this reason).
+	if base.SF != fresh.SF {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: snapshots use different scale factors (baseline sf=%v, fresh sf=%v); wall times are not directly comparable\n",
+			base.SF, fresh.SF)
+	}
+	if base.Workers != fresh.Workers || base.Shards != fresh.Shards {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: snapshots use different parallelism (baseline workers=%d shards=%d, fresh workers=%d shards=%d); pin -j/-shards when recording both, or wall regressions can hide behind parallel speedup\n",
+			base.Workers, base.Shards, fresh.Workers, fresh.Shards)
+	}
+	if base.GOMAXPROCS != fresh.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: snapshots ran on different core counts (baseline gomaxprocs=%d, fresh gomaxprocs=%d)\n",
+			base.GOMAXPROCS, fresh.GOMAXPROCS)
+	}
+
+	c := bench.Compare(base, fresh, *threshold, *minWall)
+	fmt.Printf("Comparing %s (%s, %s) against %s (%s, %s):\n\n",
+		flag.Arg(1), fresh.Date, fresh.GoVersion, flag.Arg(0), base.Date, base.GoVersion)
+	fmt.Print(c.Markdown())
+	if c.Regressed() {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,8 @@
 //	repro -exp fig3 -sf 1000       paper-scale run (sharded across cores)
 //	repro -exp all -md -o EXPERIMENTS.md   write the Markdown record
 //	repro -exp all -bench-json     also write a BENCH_<date>.json snapshot
+//	repro -exp all -bench-json -bench-o ci.json   snapshot to a chosen path
+//	repro -exp fig3 -engine-partitions 4   distributed-DES run (same output)
 //	repro -exp fig3 -cpuprofile cpu.prof   capture a pprof CPU profile
 //
 // Experiments run concurrently on a bounded worker pool (one private
@@ -20,13 +22,15 @@
 // byte-identical to a serial run. Within each experiment, independent
 // grid points (cluster sizes x concurrency levels, selectivity values)
 // additionally shard across -shards workers — also without changing a
-// byte of output. Identical engine joins are memoized across experiments
-// (fig3/fig4/fig5, fig7a/fig8, fig7b/fig9 share simulations); disable
-// with -cache=false.
+// byte of output. -engine-partitions splits each simulation itself
+// across K time-synchronized DES engine partitions (distributed DES;
+// still byte-identical — see README "Partitioned engine execution").
+// Identical engine joins are memoized across experiments (fig3/fig4/
+// fig5, fig7a/fig8, fig7b/fig9 share simulations); disable with
+// -cache=false.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -37,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/pstore"
 	"repro/internal/report"
@@ -47,22 +52,25 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment IDs or globs (or 'all'); known: "+strings.Join(experiments.IDs(), " "))
-		list     = flag.Bool("list", false, "list experiment ids")
-		csv      = flag.Bool("csv", false, "emit series as CSV")
-		md       = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
-		jsonOut  = flag.Bool("json", false, "emit structured JSON (one entry per experiment)")
-		out      = flag.String("o", "", "write output to file instead of stdout")
-		workers  = flag.Int("j", 0, "parallel workers (default GOMAXPROCS)")
-		failFast = flag.Bool("fail-fast", false, "abort on first experiment failure")
-		times    = flag.Bool("times", false, "print per-experiment wall times (and cache stats) to stderr")
-		sf       = flag.Float64("sf", 0, "TPC-H scale factor for the figure 3-5 engine runs (default 100; the paper's is 1000)")
-		conc     = flag.String("conc", "", "comma-separated concurrency levels for fig3/fig4 (default 1,2,4)")
-		cache    = flag.Bool("cache", true, "memoize identical engine joins across experiments")
-		shards   = flag.Int("shards", 0, "intra-experiment shard workers for engine-backed figures (0 = GOMAXPROCS, 1 = serial)")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
-		benchOut = flag.Bool("bench-json", false, "write a machine-readable BENCH_<date>.json perf snapshot of the run")
+		exp        = flag.String("exp", "all", "comma-separated experiment IDs or globs (or 'all'); known: "+strings.Join(experiments.IDs(), " "))
+		list       = flag.Bool("list", false, "list experiment ids")
+		csv        = flag.Bool("csv", false, "emit series as CSV")
+		md         = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md format)")
+		jsonOut    = flag.Bool("json", false, "emit structured JSON (one entry per experiment)")
+		out        = flag.String("o", "", "write output to file instead of stdout")
+		workers    = flag.Int("j", 0, "parallel workers (default GOMAXPROCS)")
+		failFast   = flag.Bool("fail-fast", false, "abort on first experiment failure")
+		times      = flag.Bool("times", false, "print per-experiment wall times (and cache stats) to stderr")
+		sf         = flag.Float64("sf", 0, "TPC-H scale factor for the figure 3-5 engine runs (default 100; the paper's is 1000)")
+		conc       = flag.String("conc", "", "comma-separated concurrency levels for fig3/fig4 (default 1,2,4)")
+		cache      = flag.Bool("cache", true, "memoize identical engine joins across experiments")
+		shards     = flag.Int("shards", 0, "intra-experiment shard workers for engine-backed figures (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		benchOut   = flag.Bool("bench-json", false, "write a machine-readable BENCH_<date>.json perf snapshot of the run")
+		benchPath  = flag.String("bench-o", "", "snapshot path for -bench-json (default BENCH_<date>.json)")
+		benchForce = flag.Bool("bench-force", false, "allow -bench-json to overwrite an existing snapshot file")
+		partitions = flag.Int("engine-partitions", 0, "split each simulated cluster across this many time-synchronized DES engine partitions (0/1 = one engine; output is byte-identical)")
 	)
 	flag.Parse()
 
@@ -85,7 +93,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: -sf must be a positive, finite number (0 = default), got %v\n", *sf)
 		os.Exit(2)
 	}
-	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards}
+	if *partitions < 0 {
+		fmt.Fprintf(os.Stderr, "repro: -engine-partitions must be >= 0, got %d\n", *partitions)
+		os.Exit(2)
+	}
+	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions}
 	if *conc != "" {
 		for _, f := range strings.Split(*conc, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
@@ -191,7 +203,9 @@ func main() {
 			events: sim.TotalEvents() - events0,
 			allocs: ms1.Mallocs - ms0.Mallocs,
 			bytes:  ms1.TotalAlloc - ms0.TotalAlloc,
-			sf:     *sf, workers: *workers, shards: *shards, cache: joinCache,
+			sf:     *sf, workers: *workers, shards: *shards,
+			partitions: *partitions, cache: joinCache,
+			path: *benchPath, force: *benchForce,
 		})
 		if berr != nil {
 			fatal(1, berr)
@@ -217,61 +231,42 @@ func main() {
 // benchInputs carries the measurements of one run into the snapshot
 // writer.
 type benchInputs struct {
-	results []runner.Result
-	wall    time.Duration
-	events  uint64
-	allocs  uint64
-	bytes   uint64
-	sf      float64
-	workers int
-	shards  int
-	cache   *pstore.Cache
+	results    []runner.Result
+	wall       time.Duration
+	events     uint64
+	allocs     uint64
+	bytes      uint64
+	sf         float64
+	workers    int
+	shards     int
+	partitions int
+	cache      *pstore.Cache
+	path       string
+	force      bool
 }
 
-// benchSnapshot is the BENCH_<date>.json schema: enough to track the
-// repo's performance trajectory across PRs — wall time, simulator
-// throughput (events/sec) and allocation pressure — plus the
-// configuration that produced it, so snapshots are comparable.
-type benchSnapshot struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	SF         float64 `json:"sf"` // 0 = per-experiment defaults
-	Workers    int     `json:"workers"`
-	Shards     int     `json:"shards"`
-	Cached     bool    `json:"cached"`
-
-	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
-	Events           uint64  `json:"events"`
-	EventsPerSec     float64 `json:"events_per_sec"`
-	Allocs           uint64  `json:"allocs"`
-	AllocsPerEvent   float64 `json:"allocs_per_event"`
-	AllocBytes       uint64  `json:"alloc_bytes"`
-
-	CacheRequests int64 `json:"cache_requests,omitempty"`
-	CacheHits     int64 `json:"cache_hits,omitempty"`
-	CacheMisses   int64 `json:"cache_misses,omitempty"`
-
-	Experiments []benchExperiment `json:"experiments"`
-}
-
-// benchExperiment is one experiment's wall time within the run.
-type benchExperiment struct {
-	ID     string  `json:"id"`
-	WallMS float64 `json:"wall_ms"`
-	Error  string  `json:"error,omitempty"`
-}
-
-// writeBenchSnapshot writes BENCH_<YYYY-MM-DD>.json in the working
-// directory and returns its path.
+// writeBenchSnapshot writes the bench.Snapshot for one run (default path
+// BENCH_<YYYY-MM-DD>.json in the working directory) and returns the
+// path. Worker and shard pool sizes are recorded as the EFFECTIVE values
+// the run used — a 0 flag resolves to GOMAXPROCS exactly as the pools
+// do — so two snapshots are comparable without knowing each flag's
+// default. An existing file is never silently overwritten
+// (bench.Snapshot.WriteFile); use -bench-o / -bench-force.
 func writeBenchSnapshot(in benchInputs) (string, error) {
-	snap := benchSnapshot{
+	effective := func(v int) int {
+		if v <= 0 {
+			return runtime.GOMAXPROCS(0)
+		}
+		return v
+	}
+	snap := bench.Snapshot{
 		Date:             time.Now().Format("2006-01-02"),
 		GoVersion:        runtime.Version(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		SF:               in.sf,
-		Workers:          in.workers,
-		Shards:           in.shards,
+		Workers:          effective(in.workers),
+		Shards:           effective(in.shards),
+		EnginePartitions: in.partitions,
 		Cached:           in.cache != nil,
 		SuiteWallSeconds: in.wall.Seconds(),
 		Events:           in.events,
@@ -289,16 +284,15 @@ func writeBenchSnapshot(in benchInputs) (string, error) {
 		snap.CacheRequests, snap.CacheHits, snap.CacheMisses = s.Requests(), s.Hits, s.Misses
 	}
 	for _, r := range in.results {
-		be := benchExperiment{ID: r.Experiment.ID, WallMS: float64(r.Wall.Microseconds()) / 1000}
+		be := bench.Experiment{ID: r.Experiment.ID, WallMS: float64(r.Wall.Microseconds()) / 1000}
 		if r.Err != nil {
 			be.Error = r.Err.Error()
 		}
 		snap.Experiments = append(snap.Experiments, be)
 	}
-	path := "BENCH_" + snap.Date + ".json"
-	buf, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return "", err
+	path := in.path
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
 	}
-	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+	return path, snap.WriteFile(path, in.force)
 }

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(wall float64, eps float64, ape float64, exps ...Experiment) Snapshot {
+	return Snapshot{
+		SuiteWallSeconds: wall, EventsPerSec: eps, AllocsPerEvent: ape,
+		Experiments: exps,
+	}
+}
+
+func TestCompareOK(t *testing.T) {
+	base := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 800})
+	fresh := snap(11, 0.95e6, 0.31, Experiment{ID: "fig3", WallMS: 850})
+	c := Compare(base, fresh, 30, 50)
+	if c.Regressed() {
+		t.Fatalf("within-threshold drift flagged as regression: %+v", c.Deltas)
+	}
+}
+
+func TestCompareWallRegression(t *testing.T) {
+	c := Compare(snap(10, 1e6, 0.3), snap(14, 1e6, 0.3), 30, 50)
+	if !c.Regressed() {
+		t.Fatal("40% wall slowdown not flagged at 30% threshold")
+	}
+	if got := c.Deltas[0]; !got.Regressed || got.Pct < 39 || got.Pct > 41 {
+		t.Fatalf("suite wall delta wrong: %+v", got)
+	}
+}
+
+func TestCompareThroughputDirection(t *testing.T) {
+	// events/sec DROPPING is the regression; rising is an improvement.
+	c := Compare(snap(10, 1e6, 0.3), snap(10, 0.5e6, 0.3), 30, 50)
+	if !c.Regressed() {
+		t.Fatal("halved events/sec not flagged")
+	}
+	c = Compare(snap(10, 1e6, 0.3), snap(10, 2e6, 0.3), 30, 50)
+	if c.Regressed() {
+		t.Fatal("doubled events/sec flagged as regression")
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	base := snap(10, 1e6, 0.3, Experiment{ID: "tiny", WallMS: 2}, Experiment{ID: "big", WallMS: 500})
+	fresh := snap(10, 1e6, 0.3, Experiment{ID: "tiny", WallMS: 10}, Experiment{ID: "big", WallMS: 900})
+	c := Compare(base, fresh, 30, 50)
+	if c.Skipped != 1 {
+		t.Fatalf("tiny experiment (5x on 2ms) should be skipped, got Skipped=%d", c.Skipped)
+	}
+	found := false
+	for _, d := range c.Deltas {
+		if strings.HasPrefix(d.Metric, "big") {
+			found = true
+			if !d.Regressed {
+				t.Fatalf("big experiment +80%% not flagged: %+v", d)
+			}
+		}
+		if strings.HasPrefix(d.Metric, "tiny") {
+			t.Fatalf("tiny experiment compared despite noise floor: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatal("big experiment missing from deltas")
+	}
+}
+
+func TestCompareErroredExperiment(t *testing.T) {
+	base := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 800})
+	fresh := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 1, Error: "boom"})
+	c := Compare(base, fresh, 30, 50)
+	if !c.Regressed() {
+		t.Fatal("errored experiment not flagged as regression")
+	}
+	md := c.Markdown()
+	if !strings.Contains(md, "boom") || !strings.Contains(md, "REGRESSED") {
+		t.Fatalf("markdown misses the error note:\n%s", md)
+	}
+}
+
+func TestMarkdownVerdict(t *testing.T) {
+	md := Compare(snap(10, 1e6, 0.3), snap(10, 1e6, 0.3), 30, 50).Markdown()
+	if !strings.Contains(md, "Verdict: ok") {
+		t.Fatalf("clean comparison lacks ok verdict:\n%s", md)
+	}
+	if !strings.Contains(md, "| metric | baseline | current | change | status |") {
+		t.Fatalf("markdown header missing:\n%s", md)
+	}
+}
+
+func TestWriteRefusesOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-01-01.json")
+	s := snap(1, 1, 1)
+	if err := s.WriteFile(path, false); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := s.WriteFile(path, false); err == nil {
+		t.Fatal("second write silently overwrote the snapshot")
+	}
+	if err := s.WriteFile(path, true); err != nil {
+		t.Fatalf("forced overwrite failed: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SuiteWallSeconds != 1 {
+		t.Fatalf("roundtrip mismatch: %+v", loaded)
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one compared metric: a suite-level measurement or one
+// experiment's wall time.
+type Delta struct {
+	Metric string
+	// Base and New are the raw values (in the metric's own unit).
+	Base, New float64
+	// Pct is the regression percentage: positive means New is worse
+	// than Base (slower / fewer events per second / more allocations),
+	// negative means it improved.
+	Pct float64
+	// Regressed marks Pct beyond the comparison threshold.
+	Regressed bool
+	// Note carries non-numeric failures (an experiment that errored).
+	Note string
+}
+
+// Comparison is the outcome of Compare: per-metric deltas in report
+// order plus the threshold they were judged against.
+type Comparison struct {
+	Deltas       []Delta
+	ThresholdPct float64
+	// Skipped counts per-experiment rows left out because both sides
+	// ran faster than the noise floor — too small to judge relatively.
+	Skipped int
+}
+
+// Regressed reports whether any metric regressed beyond the threshold.
+func (c Comparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// regressionPct returns how much worse cur is than base, in percent,
+// given the metric's direction. higherIsWorse covers wall times and
+// allocation counts; the inverse covers throughput.
+func regressionPct(base, cur float64, higherIsWorse bool) float64 {
+	if base == 0 {
+		return 0 // no reference; never judged a regression
+	}
+	if higherIsWorse {
+		return (cur - base) / base * 100
+	}
+	return (base - cur) / base * 100
+}
+
+// Compare judges a fresh snapshot against a baseline. thresholdPct is
+// the allowed regression per metric (e.g. 30 = fail beyond +30%);
+// minWallMS is the per-experiment noise floor: experiments where both
+// snapshots ran faster than this are skipped, since sub-millisecond
+// rows regress by whole multiples on runner jitter alone. Suite-level
+// metrics are always compared. An experiment that errored in the fresh
+// snapshot is a regression regardless of timing.
+func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
+	c := Comparison{ThresholdPct: thresholdPct}
+	add := func(metric string, b, n float64, higherIsWorse bool) {
+		pct := regressionPct(b, n, higherIsWorse)
+		c.Deltas = append(c.Deltas, Delta{
+			Metric: metric, Base: b, New: n, Pct: pct,
+			Regressed: pct > thresholdPct,
+		})
+	}
+	add("suite wall (s)", base.SuiteWallSeconds, fresh.SuiteWallSeconds, true)
+	add("events/sec", base.EventsPerSec, fresh.EventsPerSec, false)
+	add("allocs/event", base.AllocsPerEvent, fresh.AllocsPerEvent, true)
+
+	baseByID := make(map[string]Experiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+	for _, e := range fresh.Experiments {
+		b, ok := baseByID[e.ID]
+		if e.Error != "" {
+			c.Deltas = append(c.Deltas, Delta{
+				Metric: e.ID + " wall (ms)", Base: b.WallMS, New: e.WallMS,
+				Regressed: true, Note: "errored: " + e.Error,
+			})
+			continue
+		}
+		if !ok {
+			continue // new experiment: no baseline to regress against
+		}
+		if b.WallMS < minWallMS && e.WallMS < minWallMS {
+			c.Skipped++
+			continue
+		}
+		add(e.ID+" wall (ms)", b.WallMS, e.WallMS, true)
+	}
+	return c
+}
+
+// Markdown renders the comparison as a GitHub-flavored table followed by
+// a one-line verdict, ready for a CI job summary.
+func (c Comparison) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| metric | baseline | current | change | status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---|\n")
+	for _, d := range c.Deltas {
+		status := "ok"
+		switch {
+		case d.Note != "":
+			status = "**REGRESSED** (" + d.Note + ")"
+		case d.Regressed:
+			status = "**REGRESSED**"
+		case d.Pct < -c.ThresholdPct:
+			status = "improved"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %+.1f%% | %s |\n",
+			d.Metric, formatVal(d.Base), formatVal(d.New), d.Pct, status)
+	}
+	if c.Skipped > 0 {
+		fmt.Fprintf(&b, "\n%d experiment(s) below the noise floor were skipped.\n", c.Skipped)
+	}
+	if c.Regressed() {
+		fmt.Fprintf(&b, "\nVerdict: REGRESSED (threshold %.0f%%).\n", c.ThresholdPct)
+	} else {
+		fmt.Fprintf(&b, "\nVerdict: ok (threshold %.0f%%).\n", c.ThresholdPct)
+	}
+	return b.String()
+}
+
+// formatVal renders a metric value compactly: integers for large
+// magnitudes, three significant decimals for small ones.
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

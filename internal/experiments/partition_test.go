@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPartitionedMatchesSerial is the determinism guarantee behind
+// distributed-DES execution: every engine-backed figure must produce
+// identical Results whether its simulated clusters run on one engine or
+// split across 2 or 4 time-synchronized engine partitions
+// (sim.PartitionGroup). Figures 3-5 run at SF 100 (their default scale),
+// figures 7-9 at their fixed paper setup (SF 400); no join cache is
+// involved, so every partition setting simulates from scratch.
+func TestPartitionedMatchesSerial(t *testing.T) {
+	ids := []string{"fig3", "fig4", "fig5", "fig7a", "fig7b", "fig8", "fig9"}
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := e.Run(Options{})
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			part, err := e.Run(Options{EnginePartitions: k})
+			if err != nil {
+				t.Fatalf("%s partitions=%d: %v", id, k, err)
+			}
+			if !reflect.DeepEqual(serial, part) {
+				t.Errorf("%s: %d-partition run differs from single-engine run", id, k)
+			}
+		}
+	}
+}
+
+// TestPartitionedSharded composes both fan-out axes: grid sharding
+// (Options.Shards) over partitioned simulations (EnginePartitions) must
+// still match the plain serial run. Small SF keeps it fast; the code
+// paths are scale-independent.
+func TestPartitionedSharded(t *testing.T) {
+	for _, id := range []string{"fig3", "fig5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := e.Run(Options{SF: 2})
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		both, err := e.Run(Options{SF: 2, Shards: 4, EnginePartitions: 3})
+		if err != nil {
+			t.Fatalf("%s sharded+partitioned: %v", id, err)
+		}
+		if !reflect.DeepEqual(serial, both) {
+			t.Errorf("%s: sharded partitioned run differs from serial run", id)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func runSizes(o Options, title string, mkSpec func() pstore.JoinSpec, sizes []in
 		}
 	}
 	pts, err := par.Map(o.Shards, grid, func(_ int, pt point) (power.Point, error) {
-		c, err := cluster.New(cluster.Homogeneous(pt.n, spec))
+		c, err := cluster.New(cluster.Homogeneous(pt.n, spec).Partitioned(o.EnginePartitions))
 		if err != nil {
 			return power.Point{}, err
 		}
@@ -139,7 +139,7 @@ func Fig5(o Options) (Result, error) {
 		}
 	}
 	pts, err := par.Map(o.Shards, grid, func(_ int, r run) (power.Point, error) {
-		c, err := cluster.New(cluster.Homogeneous(r.n, hw.ClusterV()))
+		c, err := cluster.New(cluster.Homogeneous(r.n, hw.ClusterV()).Partitioned(o.EnginePartitions))
 		if err != nil {
 			return power.Point{}, err
 		}
@@ -255,12 +255,12 @@ func RunFig7(o Options, oSel float64, hetero bool) (ab, bw map[float64]pstore.Jo
 		tag := "AB"
 		if pt.bwC {
 			tag = "BW"
-			c, e = cluster.New(cluster.Mixed(2, hw.BeefyL5630(), 2, hw.LaptopB()))
+			c, e = cluster.New(cluster.Mixed(2, hw.BeefyL5630(), 2, hw.LaptopB()).Partitioned(o.EnginePartitions))
 			if hetero {
 				spec.BuildNodes = []int{0, 1}
 			}
 		} else {
-			c, e = cluster.New(cluster.Homogeneous(4, hw.BeefyL5630()))
+			c, e = cluster.New(cluster.Homogeneous(4, hw.BeefyL5630()).Partitioned(o.EnginePartitions))
 		}
 		if e != nil {
 			return outcome{}, e

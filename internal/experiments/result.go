@@ -33,6 +33,13 @@ type Options struct {
 	// Result is byte-identical at any setting (TestShardedMatchesSerial).
 	// <= 0 means GOMAXPROCS; 1 runs the grid serially.
 	Shards int
+	// EnginePartitions partitions each engine-backed simulation itself:
+	// the simulated cluster's nodes split round-robin across this many
+	// sim.Engine partitions advanced under conservative time
+	// synchronization (sim.PartitionGroup). Applies to the multi-node
+	// engine figures (3-5, 7-9). 0 or 1 = single engine; results are
+	// byte-identical at every setting (TestPartitionedMatchesSerial).
+	EnginePartitions int
 }
 
 func (o Options) withDefaults() Options {

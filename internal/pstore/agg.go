@@ -52,7 +52,7 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 		nd := nd
 		node := c.Nodes[nd]
 		part := parts[nd]
-		c.Eng.Go(fmt.Sprintf("agg.scan.%d", nd), func(p *sim.Proc) {
+		c.EngineFor(nd).Go(fmt.Sprintf("agg.scan.%d", nd), func(p *sim.Proc) {
 			var rows int64
 			var sum uint64
 			e.scanFilter(p, node, part, spec.Sel, func(p *sim.Proc, out storage.Batch) {
@@ -73,7 +73,7 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 		})
 	}
 
-	c.Eng.Go("agg.coord", func(p *sim.Proc) {
+	c.EngineFor(spec.Coordinator).Go("agg.coord", func(p *sim.Proc) {
 		for {
 			b, ok := mb.Recv(p)
 			if !ok {
@@ -86,7 +86,7 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 		done.Fire()
 	})
 
-	c.Eng.Run()
+	c.Run()
 	if !done.Fired() {
 		return AggResult{}, 0, fmt.Errorf("pstore: aggregate did not complete")
 	}

@@ -83,7 +83,6 @@ type Handle struct {
 	tables     map[int]*hashTable
 	outRows    int64
 	checksum   uint64
-	buildRows  int64
 	fracByNode map[int]*float64
 }
 
@@ -91,6 +90,14 @@ type Handle struct {
 // cluster. The returned handle's Done event fires (in virtual time) when
 // the query completes; multiple concurrent joins may be launched before
 // running the simulation.
+//
+// Every operator process is spawned on its node's engine partition
+// (Cluster.EngineFor), so on a partitioned cluster the exchange/router
+// path crosses partition boundaries through node mailboxes whose wakes
+// the kernel forwards as events on the destination engine; the spawn
+// order below is identical at every partition count, which (with the
+// group's shared clock) is what makes partitioned results byte-identical
+// to single-engine runs.
 func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	if err := spec.Validate(e.C); err != nil {
 		return nil, err
@@ -160,7 +167,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	for _, b := range buildNodes {
 		b := b
 		node := e.C.Nodes[b]
-		e.C.Eng.Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
+		e.C.EngineFor(b).Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
 			ht := h.tables[b]
 			var buf []storage.Batch
 			for {
@@ -192,9 +199,9 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		nd := nd
 		node := e.C.Nodes[nd]
 		part := buildParts[nd]
-		e.C.Eng.Go(fmt.Sprintf("%s.buildscan.%d", id, nd), func(p *sim.Proc) {
+		e.C.EngineFor(nd).Go(fmt.Sprintf("%s.buildscan.%d", id, nd), func(p *sim.Proc) {
 			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.bq.%d", id, nd), e.cfg.MailboxCap)
-			e.C.Eng.Go(fmt.Sprintf("%s.buildship.%d", id, nd), func(sp *sim.Proc) {
+			e.C.EngineFor(nd).Go(fmt.Sprintf("%s.buildship.%d", id, nd), func(sp *sim.Proc) {
 				rt := newRouter(buildNodes, nil)
 				for {
 					out, ok := sendQ.Get(sp)
@@ -233,7 +240,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	for _, b := range buildNodes {
 		b := b
 		node := e.C.Nodes[b]
-		e.C.Eng.Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
+		e.C.EngineFor(b).Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
 			ht, frac := h.tables[b], h.fracByNode[b]
 			var buf []storage.Batch
 			for {
@@ -268,7 +275,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		nd := nd
 		node := e.C.Nodes[nd]
 		part := probeParts[nd]
-		e.C.Eng.Go(fmt.Sprintf("%s.probescan.%d", id, nd), func(p *sim.Proc) {
+		e.C.EngineFor(nd).Go(fmt.Sprintf("%s.probescan.%d", id, nd), func(p *sim.Proc) {
 			h.buildWG.Wait(p)
 			if nd == buildNodes[0] && h.buildEndAt == 0 {
 				h.buildEndAt = p.Now()
@@ -287,7 +294,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 			}
 			local := isBuild[nd] && (spec.Method == Broadcast || spec.Method == Prepartitioned)
 			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.pq.%d", id, nd), e.cfg.MailboxCap)
-			e.C.Eng.Go(fmt.Sprintf("%s.probeship.%d", id, nd), func(sp *sim.Proc) {
+			e.C.EngineFor(nd).Go(fmt.Sprintf("%s.probeship.%d", id, nd), func(sp *sim.Proc) {
 				rr := nd // round-robin cursor for non-owner broadcast probes
 				rt := newRouter(buildNodes, probeWeights)
 				for {
@@ -342,7 +349,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	}
 
 	// --- Completion --------------------------------------------------------
-	e.C.Eng.Go(id+".finalize", func(p *sim.Proc) {
+	e.C.EngineFor(buildNodes[0]).Go(id+".finalize", func(p *sim.Proc) {
 		h.probeWG.Wait(p)
 		h.finalize(p.Now())
 	})
@@ -506,7 +513,7 @@ func RunJoin(c *cluster.Cluster, cfg Config, spec JoinSpec) (JoinResult, float64
 	if err != nil {
 		return JoinResult{}, 0, err
 	}
-	c.Eng.Run()
+	c.Run()
 	if !h.Done.Fired() {
 		return JoinResult{}, 0, fmt.Errorf("pstore: join did not complete (deadlock?)")
 	}
@@ -526,7 +533,7 @@ func RunConcurrent(c *cluster.Cluster, cfg Config, spec JoinSpec, k int) (makesp
 			return 0, nil, 0, err
 		}
 	}
-	c.Eng.Run()
+	c.Run()
 	for _, h := range handles {
 		if !h.Done.Fired() {
 			return 0, nil, 0, fmt.Errorf("pstore: query %s did not complete", h.ID)

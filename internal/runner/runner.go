@@ -47,9 +47,11 @@ type Options struct {
 	// and always runs the full selection.
 	FailFast bool
 	// Exp is handed to every experiment's Run: scale factor, concurrency
-	// levels, and the join runner. Inject a shared *pstore.Cache via
-	// Exp.Joins so experiments that re-simulate the same join share
-	// engine runs across the suite.
+	// levels, the join runner, intra-experiment shard workers and the
+	// DES engine partition count (Exp.EnginePartitions — distributed
+	// simulation with byte-identical output). Inject a shared
+	// *pstore.Cache via Exp.Joins so experiments that re-simulate the
+	// same join share engine runs across the suite.
 	Exp experiments.Options
 }
 

@@ -1,0 +1,153 @@
+package sim
+
+import "math"
+
+// PartitionGroup is a distributed DES: K engine partitions advancing one
+// simulation under conservative time synchronization. Callers assign
+// each simulated entity's processes to one partition (Engines()[i].Go);
+// processes interact across partitions through the ordinary primitives
+// (Queue, WaitGroup, Event, Server), and every cross-partition send is
+// forwarded as an event on the destination engine, timestamped by the
+// clock all partitions share.
+//
+// # Synchronization model
+//
+// The group advances partitions in lockstep windows: a partition runs
+// while it holds the globally minimum (time, seq) pending event, and the
+// window closes the moment another partition's event must run first —
+// either because virtual time caught up with that partition's head or
+// because the running partition forwarded an event across the boundary.
+// The window bound is therefore the cross-partition lookahead: the
+// minimum delay before any other partition's state can influence this
+// one.
+//
+// The cluster model this repository simulates contains genuinely
+// zero-delay cross-partition dependencies — end-of-stream markers are
+// free (zero wire bytes), build/probe barriers release all waiters at
+// one instant, and a full mailbox backpressures its remote senders at
+// the moment a slot frees. The conservative lookahead is therefore zero,
+// and the group degenerates to interleaving partition windows on the
+// coordinating goroutine rather than running them concurrently. What the
+// zero-lookahead schedule buys is exactness: because all partitions
+// share one (time, seq) clock and the coordinator always executes the
+// globally minimum event, a partitioned run executes the identical event
+// sequence a single engine would, so results are byte-identical at any
+// partition count (the determinism guarantee experiments test). Window
+// parallelism on top of this structure requires relaxing exactness
+// (optimistic sync with rollback, or latency-padded partition channels);
+// see ROADMAP.
+//
+// A PartitionGroup is driven only through Run; calling Run/RunUntil/Step
+// directly on a grouped engine is undefined. Halt is not supported:
+// windows reset the halt flag, as partitioned runs always drain.
+type PartitionGroup struct {
+	engines []*Engine
+	clk     *clock
+}
+
+// NewPartitionGroup creates k engines (k >= 1) sharing one simulation
+// clock, ready for processes to be distributed across them.
+func NewPartitionGroup(k int) *PartitionGroup {
+	if k < 1 {
+		k = 1
+	}
+	g := &PartitionGroup{clk: &clock{}}
+	for i := 0; i < k; i++ {
+		e := New()
+		e.clk = g.clk
+		e.grp = g
+		g.engines = append(g.engines, e)
+	}
+	return g
+}
+
+// Engines returns the partition engines, in partition order.
+func (g *PartitionGroup) Engines() []*Engine { return g.engines }
+
+// Engine returns partition i's engine.
+func (g *PartitionGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Now returns the group's current virtual time.
+func (g *PartitionGroup) Now() Time { return g.clk.now }
+
+// Events returns the total number of events executed across all
+// partitions so far.
+func (g *PartitionGroup) Events() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.stepped
+	}
+	return n
+}
+
+// mayRun reports whether e's head event is the globally minimum pending
+// (time, seq) across the group — the in-window check the engine's drive
+// loop performs before each event. seq values are unique (one shared
+// counter), so the order is total and ties cannot occur.
+func (g *PartitionGroup) mayRun(e *Engine) bool {
+	at, seq, ok := e.peekNext()
+	if !ok {
+		return false
+	}
+	for _, o := range g.engines {
+		if o == e {
+			continue
+		}
+		oat, oseq, ook := o.peekNext()
+		if ook && (oat < at || (oat == at && oseq < seq)) {
+			return false
+		}
+	}
+	return true
+}
+
+// minEngine returns the partition holding the globally minimum pending
+// event, or nil when every partition has drained.
+func (g *PartitionGroup) minEngine() *Engine {
+	var best *Engine
+	var bAt Time
+	var bSeq uint64
+	for _, e := range g.engines {
+		at, seq, ok := e.peekNext()
+		if !ok {
+			continue
+		}
+		if best == nil || at < bAt || (at == bAt && seq < bSeq) {
+			best, bAt, bSeq = e, at, seq
+		}
+	}
+	return best
+}
+
+// runWindow drives one partition's window: events execute at direct-
+// handoff speed until the engine drains or loses the global minimum
+// (drive's in-window check), then control returns here. A process or
+// callback panic anywhere in the window re-panics on this side.
+func (e *Engine) runWindow() {
+	e.halted = false
+	e.stepping = false
+	e.limit = math.Inf(1)
+	if e.drive(nil) == outTransferred {
+		<-e.root
+	}
+	e.rethrow()
+}
+
+// Run advances all partitions to completion: repeatedly grant a window
+// to the partition owning the globally minimum event until every
+// partition's queue is empty. A panic in any partition's process or
+// callback aborts the run and re-panics here.
+func (g *PartitionGroup) Run() {
+	defer func() {
+		for _, e := range g.engines {
+			e.flushEvents()
+		}
+	}()
+	for {
+		e := g.minEngine()
+		if e == nil {
+			return
+		}
+		e.runWindow()
+	}
+}

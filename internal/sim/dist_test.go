@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// pingPong wires a bounded-queue producer/consumer pair with asymmetric
+// service delays — enough traffic to exercise backpressure (queue full),
+// wakeups in both directions and zero-delay handoffs. spawn places each
+// process; trace collects (time, label) in execution order.
+func pingPong(spawn func(i int, name string, body func(p *Proc)), trace *[]string) {
+	q := NewQueue[int]("pp", 2)
+	done := &Event{}
+	spawn(0, "producer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Hold(0.25)
+			q.Put(p, i)
+			*trace = append(*trace, fmt.Sprintf("put %d @%.2f", i, p.Now()))
+		}
+		q.Close()
+	})
+	spawn(1, "consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				break
+			}
+			p.Hold(0.4)
+			*trace = append(*trace, fmt.Sprintf("got %d @%.2f", v, p.Now()))
+		}
+		done.Fire()
+	})
+	spawn(0, "watcher", func(p *Proc) {
+		done.Wait(p)
+		*trace = append(*trace, fmt.Sprintf("done @%.2f", p.Now()))
+	})
+}
+
+// TestPartitionedMatchesSingleEngine is the kernel-level determinism
+// guarantee: the same workload split across 2 partitions executes the
+// identical event sequence (same order, same virtual times) as on one
+// engine, even though producer and consumer live on different engines
+// and wake each other across the partition boundary.
+func TestPartitionedMatchesSingleEngine(t *testing.T) {
+	var serial []string
+	e := New()
+	pingPong(func(_ int, name string, body func(p *Proc)) { e.Go(name, body) }, &serial)
+	e.Run()
+
+	for _, k := range []int{1, 2, 3} {
+		var part []string
+		g := NewPartitionGroup(k)
+		pingPong(func(i int, name string, body func(p *Proc)) {
+			g.Engine(i%k).Go(name, body)
+		}, &part)
+		g.Run()
+		if !reflect.DeepEqual(serial, part) {
+			t.Fatalf("k=%d: partitioned trace differs from serial\nserial: %v\npartitioned: %v", k, serial, part)
+		}
+		if g.Now() != e.Now() {
+			t.Fatalf("k=%d: final time %v != serial %v", k, g.Now(), e.Now())
+		}
+		if g.Events() != e.Events() {
+			t.Fatalf("k=%d: executed %d events, serial %d", k, g.Events(), e.Events())
+		}
+	}
+}
+
+// TestPartitionedServers books FCFS rate servers from both partitions:
+// completion times must match the single-engine run exactly (shared
+// clock, global event order).
+func TestPartitionedServers(t *testing.T) {
+	run := func(spawn func(i int, name string, body func(p *Proc)) *Engine) []string {
+		var trace []string
+		var srv [2]*Server
+		var wg WaitGroup
+		wg.Add(4)
+		for i := 0; i < 2; i++ {
+			i := i
+			e := spawn(i, fmt.Sprintf("worker%d.a", i), func(p *Proc) {
+				srv[i].Process(p, 100)
+				trace = append(trace, fmt.Sprintf("a%d @%.2f", i, p.Now()))
+				wg.Done()
+			})
+			srv[i] = NewServer(e, fmt.Sprintf("srv%d", i), 50)
+		}
+		for i := 0; i < 2; i++ {
+			i := i
+			// Cross-booking: partition i's second worker uses the OTHER
+			// partition's server.
+			spawn(i, fmt.Sprintf("worker%d.b", i), func(p *Proc) {
+				srv[1-i].Process(p, 25)
+				trace = append(trace, fmt.Sprintf("b%d @%.2f", i, p.Now()))
+				wg.Done()
+			})
+		}
+		spawn(0, "fin", func(p *Proc) {
+			wg.Wait(p)
+			trace = append(trace, fmt.Sprintf("fin @%.2f", p.Now()))
+		})
+		return trace
+	}
+
+	e := New()
+	serial := run(func(_ int, name string, body func(p *Proc)) *Engine {
+		e.Go(name, body)
+		return e
+	})
+	e.Run()
+
+	g := NewPartitionGroup(2)
+	part := run(func(i int, name string, body func(p *Proc)) *Engine {
+		g.Engine(i).Go(name, body)
+		return g.Engine(i)
+	})
+	g.Run()
+
+	if !reflect.DeepEqual(serial, part) {
+		t.Fatalf("partitioned server trace differs\nserial: %v\npartitioned: %v", serial, part)
+	}
+}
+
+// TestPartitionedPanic: a process panic on any partition unwinds out of
+// Group.Run as *ProcPanic, exactly like Engine.Run.
+func TestPartitionedPanic(t *testing.T) {
+	g := NewPartitionGroup(2)
+	g.Engine(0).Go("ok", func(p *Proc) { p.Hold(1) })
+	g.Engine(1).Go("boom", func(p *Proc) {
+		p.Hold(0.5)
+		panic("kaboom")
+	})
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *ProcPanic", r, r)
+		}
+		if pp.Proc != "boom" || pp.Value != "kaboom" {
+			t.Fatalf("unexpected panic payload: %+v", pp)
+		}
+	}()
+	g.Run()
+	t.Fatal("Run returned without panicking")
+}
+
+// TestPartitionGroupEmpty: running a group with no processes terminates.
+func TestPartitionGroupEmpty(t *testing.T) {
+	g := NewPartitionGroup(4)
+	g.Run()
+	if g.Now() != 0 || g.Events() != 0 {
+		t.Fatalf("empty group advanced: now=%v events=%d", g.Now(), g.Events())
+	}
+}

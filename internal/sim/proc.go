@@ -55,9 +55,8 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		name: name,
 		tok:  make(chan struct{}),
 	}
-	p.wake = func() { p.eng.resumeAt(p.eng.now, p) }
-	e.live++
-	e.at(e.now, func() { go p.run(body) }, p)
+	p.wake = func() { p.eng.resumeAt(p.eng.clk.now, p) }
+	e.at(e.clk.now, func() { go p.run(body) }, p)
 	return p
 }
 
@@ -71,14 +70,12 @@ func (p *Proc) run(body func(p *Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.done = true
-			p.eng.live--
 			p.eng.pendingPanic = &ProcPanic{Proc: p.name, Value: r}
 			p.eng.root <- struct{}{}
 		}
 	}()
 	body(p)
 	p.done = true
-	p.eng.live--
 	p.exit()
 }
 
@@ -123,7 +120,7 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Name() string { return p.name }
 
 // Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+func (p *Proc) Now() Time { return p.eng.clk.now }
 
 // Hold suspends the process for d seconds of virtual time.
 func (p *Proc) Hold(d float64) {
@@ -131,17 +128,17 @@ func (p *Proc) Hold(d float64) {
 		panic(fmt.Sprintf("sim: %s Hold(%v) negative", p.name, d))
 	}
 	if math.IsNaN(d) {
-		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", d, p.eng.now))
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", d, p.eng.clk.now))
 	}
 	// Even a zero hold yields to the scheduler, preserving fairness.
-	p.eng.resumeAt(p.eng.now+d, p)
+	p.eng.resumeAt(p.eng.clk.now+d, p)
 	p.block()
 }
 
 // HoldUntil suspends the process until absolute virtual time t.
 func (p *Proc) HoldUntil(t Time) {
-	if t < p.eng.now {
-		panic(fmt.Sprintf("sim: %s HoldUntil(%v) in the past (now=%v)", p.name, t, p.eng.now))
+	if t < p.eng.clk.now {
+		panic(fmt.Sprintf("sim: %s HoldUntil(%v) in the past (now=%v)", p.name, t, p.eng.clk.now))
 	}
 	p.eng.resumeAt(t, p)
 	p.block()

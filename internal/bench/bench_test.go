@@ -81,6 +81,30 @@ func TestCompareErroredExperiment(t *testing.T) {
 	}
 }
 
+func TestCompareMissingExperiment(t *testing.T) {
+	base := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 800}, Experiment{ID: "fig4", WallMS: 200})
+	fresh := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 810})
+	c := Compare(base, fresh, 30, 50)
+	if !c.Regressed() {
+		t.Fatal("experiment missing from fresh snapshot not flagged as regression")
+	}
+	found := false
+	for _, d := range c.Deltas {
+		if strings.HasPrefix(d.Metric, "fig4") {
+			found = true
+			if !d.Regressed || !strings.Contains(d.Note, "missing") {
+				t.Fatalf("fig4 delta should be a noted regression: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("vanished experiment absent from deltas")
+	}
+	if md := c.Markdown(); !strings.Contains(md, "missing from fresh snapshot") {
+		t.Fatalf("markdown misses the vanished-experiment note:\n%s", md)
+	}
+}
+
 func TestMarkdownVerdict(t *testing.T) {
 	md := Compare(snap(10, 1e6, 0.3), snap(10, 1e6, 0.3), 30, 50).Markdown()
 	if !strings.Contains(md, "Verdict: ok") {

@@ -60,7 +60,9 @@ func regressionPct(base, cur float64, higherIsWorse bool) float64 {
 // snapshots ran faster than this are skipped, since sub-millisecond
 // rows regress by whole multiples on runner jitter alone. Suite-level
 // metrics are always compared. An experiment that errored in the fresh
-// snapshot is a regression regardless of timing.
+// snapshot, or that exists in the baseline but is absent from the fresh
+// snapshot (unregistered, or dropped by a runner failure), is a
+// regression regardless of timing.
 func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
 	c := Comparison{ThresholdPct: thresholdPct}
 	add := func(metric string, b, n float64, higherIsWorse bool) {
@@ -95,6 +97,18 @@ func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
 			continue
 		}
 		add(e.ID+" wall (ms)", b.WallMS, e.WallMS, true)
+	}
+	freshIDs := make(map[string]bool, len(fresh.Experiments))
+	for _, e := range fresh.Experiments {
+		freshIDs[e.ID] = true
+	}
+	for _, e := range base.Experiments {
+		if !freshIDs[e.ID] {
+			c.Deltas = append(c.Deltas, Delta{
+				Metric: e.ID + " wall (ms)", Base: e.WallMS,
+				Regressed: true, Note: "missing from fresh snapshot",
+			})
+		}
 	}
 	return c
 }

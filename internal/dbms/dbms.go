@@ -141,7 +141,7 @@ func Run(q Query, n int, spec hw.Spec) (Result, error) {
 			res.StageSeconds[i] = secs
 		}
 	})
-	c.Eng.Run()
+	c.Run()
 	c.StopMeters()
 	res.Seconds = c.Eng.Now()
 	res.Joules = c.TotalJoules()

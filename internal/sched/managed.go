@@ -124,7 +124,7 @@ func RunManaged(c *cluster.Cluster, cfg pstore.Config, wl Workload, policy Polic
 	// Initial gap: the cluster may sleep before the first release too.
 	c.Eng.Schedule(0, maybeSleep)
 
-	c.Eng.Run()
+	c.Run()
 	if launchErr != nil {
 		return Result{}, launchErr
 	}

@@ -216,7 +216,7 @@ func Run(c *cluster.Cluster, cfg pstore.Config, wl Workload, policy Policy) (Res
 			handles[i] = h
 		})
 	}
-	c.Eng.Run()
+	c.Run()
 	if launchErr != nil {
 		return Result{}, launchErr
 	}

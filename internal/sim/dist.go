@@ -38,11 +38,13 @@ import "math"
 // see ROADMAP.
 //
 // A PartitionGroup is driven only through Run; calling Run/RunUntil/Step
-// directly on a grouped engine is undefined. Halt is not supported:
-// windows reset the halt flag, as partitioned runs always drain.
+// directly on a grouped engine is undefined. Halt on any grouped engine
+// stops the whole group: the current window ends after the executing
+// event and Run returns without granting another window.
 type PartitionGroup struct {
 	engines []*Engine
 	clk     *clock
+	halted  bool // set by any grouped engine's Halt; cleared by Run
 }
 
 // NewPartitionGroup creates k engines (k >= 1) sharing one simulation
@@ -135,15 +137,17 @@ func (e *Engine) runWindow() {
 
 // Run advances all partitions to completion: repeatedly grant a window
 // to the partition owning the globally minimum event until every
-// partition's queue is empty. A panic in any partition's process or
-// callback aborts the run and re-panics here.
+// partition's queue is empty or Halt is called on any grouped engine. A
+// panic in any partition's process or callback aborts the run and
+// re-panics here.
 func (g *PartitionGroup) Run() {
+	g.halted = false
 	defer func() {
 		for _, e := range g.engines {
 			e.flushEvents()
 		}
 	}()
-	for {
+	for !g.halted {
 		e := g.minEngine()
 		if e == nil {
 			return

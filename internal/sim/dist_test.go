@@ -145,6 +145,34 @@ func TestPartitionedPanic(t *testing.T) {
 	t.Fatal("Run returned without panicking")
 }
 
+// TestPartitionedHalt: Halt on any grouped engine stops the whole group
+// after the executing event — later events (on every partition) stay
+// queued, exactly like Engine.Halt on a single engine.
+func TestPartitionedHalt(t *testing.T) {
+	g := NewPartitionGroup(2)
+	var ran []string
+	g.Engine(0).Schedule(1, func() {
+		ran = append(ran, "halter")
+		// Halt via the OTHER partition's engine: any grouped engine must
+		// stop the coordinator, not just the one currently driving.
+		g.Engine(1).Halt()
+	})
+	g.Engine(0).Schedule(2, func() { ran = append(ran, "late0") })
+	g.Engine(1).Schedule(3, func() { ran = append(ran, "late1") })
+	g.Run()
+	if !reflect.DeepEqual(ran, []string{"halter"}) {
+		t.Fatalf("halted group ran %v, want [halter]", ran)
+	}
+	if g.Now() != 1 {
+		t.Fatalf("halted at t=%v, want 1", g.Now())
+	}
+	// A fresh Run resumes from the queued events.
+	g.Run()
+	if !reflect.DeepEqual(ran, []string{"halter", "late0", "late1"}) {
+		t.Fatalf("resumed group ran %v", ran)
+	}
+}
+
 // TestPartitionGroupEmpty: running a group with no processes terminates.
 func TestPartitionGroupEmpty(t *testing.T) {
 	g := NewPartitionGroup(4)

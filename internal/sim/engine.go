@@ -331,7 +331,7 @@ func (e *Engine) drive(self *Proc) outcome {
 		if !e.pendingBy(e.limit) {
 			return outDone
 		}
-		if e.grp != nil && !e.grp.mayRun(e) {
+		if e.grp != nil && (e.grp.halted || !e.grp.mayRun(e)) {
 			return outDone
 		}
 		ev, _ := e.next()
@@ -415,8 +415,15 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Halt stops Run/RunUntil after the current event completes.
-func (e *Engine) Halt() { e.halted = true }
+// Halt stops Run/RunUntil after the current event completes. On a
+// grouped engine it halts the whole PartitionGroup run, whichever
+// partition is currently executing.
+func (e *Engine) Halt() {
+	e.halted = true
+	if e.grp != nil {
+		e.grp.halted = true
+	}
+}
 
 // Idle reports whether no events remain.
 func (e *Engine) Idle() bool { return len(e.events.evs) == 0 && e.nowQ.n == 0 }

@@ -26,6 +26,7 @@ func main() {
 	var (
 		threshold = flag.Float64("threshold", 30, "allowed regression per metric, in percent")
 		minWall   = flag.Float64("min-wall-ms", 50, "per-experiment noise floor: skip rows below this wall time in both snapshots")
+		allowSF   = flag.Bool("allow-sf-mismatch", false, "compare snapshots recorded at different scale factors anyway (wall times will not be directly comparable)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json\n")
@@ -53,11 +54,15 @@ func main() {
 	}
 
 	// Wall-time comparisons only mean something when both runs did the
-	// same amount of work with the same parallelism: warn on any config
-	// skew (the perf-gate pins -j 1 -shards 1 for exactly this reason).
-	if base.SF != fresh.SF {
-		fmt.Fprintf(os.Stderr, "benchdiff: warning: snapshots use different scale factors (baseline sf=%v, fresh sf=%v); wall times are not directly comparable\n",
+	// same amount of work with the same parallelism. A scale-factor
+	// mismatch means the snapshots measured different workloads, so the
+	// comparison is refused outright (not warned past): every wall and
+	// throughput row would be noise, and a gate built on it would pass
+	// or fail on workload size, not performance.
+	if base.SF != fresh.SF && !*allowSF {
+		fmt.Fprintf(os.Stderr, "benchdiff: snapshots use different scale factors (baseline sf=%v, fresh sf=%v); re-record at a matching -sf, or pass -allow-sf-mismatch to compare anyway\n",
 			base.SF, fresh.SF)
+		os.Exit(2)
 	}
 	if base.Workers != fresh.Workers || base.Shards != fresh.Shards {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: snapshots use different parallelism (baseline workers=%d shards=%d, fresh workers=%d shards=%d); pin -j/-shards when recording both, or wall regressions can hide behind parallel speedup\n",

@@ -35,6 +35,7 @@ func main() {
 		cold     = flag.Bool("cold", false, "cold cache (disk-rate scans)")
 		timeline = flag.Bool("timeline", false, "print per-node CPU utilization heat strips")
 		parts    = flag.Int("engine-partitions", 0, "split the simulated cluster across this many time-synchronized DES engine partitions (0/1 = one engine; same results)")
+		batch    = flag.Int("batch-rows", 0, "tuples per exchange batch (0 = default: 200000, or 4096 with -materialize; clamped at the engine maximum)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,11 @@ func main() {
 	ecfg := pstore.Config{WarmCache: !*cold, BatchRows: 200_000}
 	if *mat {
 		ecfg.BatchRows = 4096
+	}
+	if *batch > 0 {
+		ecfg.BatchRows = *batch
+	} else if *batch < 0 {
+		fatal(fmt.Errorf("-batch-rows must be >= 0 (0 = default), got %d", *batch))
 	}
 
 	if *conc > 1 {

@@ -71,6 +71,7 @@ func main() {
 		benchPath  = flag.String("bench-o", "", "snapshot path for -bench-json (default BENCH_<date>.json)")
 		benchForce = flag.Bool("bench-force", false, "allow -bench-json to overwrite an existing snapshot file")
 		partitions = flag.Int("engine-partitions", 0, "split each simulated cluster across this many time-synchronized DES engine partitions (0/1 = one engine; output is byte-identical)")
+		batchRows  = flag.Int("batch-rows", 0, "tuples per exchange batch for the engine figures (0 = default 200000; clamped at the engine maximum)")
 	)
 	flag.Parse()
 
@@ -97,7 +98,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: -engine-partitions must be >= 0, got %d\n", *partitions)
 		os.Exit(2)
 	}
-	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions}
+	if *batchRows < 0 {
+		fmt.Fprintf(os.Stderr, "repro: -batch-rows must be >= 0 (0 = default), got %d\n", *batchRows)
+		os.Exit(2)
+	}
+	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions, BatchRows: *batchRows}
 	if *conc != "" {
 		for _, f := range strings.Split(*conc, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
@@ -278,6 +283,7 @@ func writeBenchSnapshot(in benchInputs) (string, error) {
 	}
 	if in.events > 0 {
 		snap.AllocsPerEvent = float64(in.allocs) / float64(in.events)
+		snap.AllocBytesPerEvent = float64(in.bytes) / float64(in.events)
 	}
 	if in.cache != nil {
 		s := in.cache.Stats()

@@ -25,12 +25,16 @@
 // (report.ServiceResponse, report.ServiceMetrics).
 //
 // The engine-backed figures run at the paper's scale factor 1000 with
-// `cmd/repro -sf 1000`: the internal/sim kernel uses direct-handoff
-// scheduling (one goroutine wakeup per context switch, a 4-ary event
-// heap, an at-now FIFO fast path, zero steady-state allocations), the
-// join data path builds on an open-addressing hash table and streaming
-// batch cursors, and each experiment's simulation grid shards across
-// workers (-shards) without changing a byte of output. `-bench-json`
+// `cmd/repro -sf 1000` (and complete at SF 10000 on one machine): the
+// internal/sim kernel uses direct-handoff scheduling (one goroutine
+// wakeup per context switch, a 4-ary event heap, an at-now FIFO fast
+// path, zero steady-state allocations), the join data path is a lazy
+// cursor pipeline end-to-end (storage.Cursor: selection-pushdown scans,
+// chained dimension-semijoin filters, per-destination routing and
+// hash-table build/probe all pull batches one at a time, with row-count
+// hints pre-sizing the open-addressing hash tables — README "The
+// streaming data path"), and each experiment's simulation grid shards
+// across workers (-shards) without changing a byte of output. `-bench-json`
 // records a run's wall time, events/sec and allocation pressure in
 // BENCH_<date>.json — the repo's performance trajectory — and
 // `-cpuprofile`/`-memprofile` write pprof profiles of any run.

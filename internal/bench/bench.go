@@ -30,6 +30,10 @@ type Snapshot struct {
 	Allocs           uint64  `json:"allocs"`
 	AllocsPerEvent   float64 `json:"allocs_per_event"`
 	AllocBytes       uint64  `json:"alloc_bytes"`
+	// AllocBytesPerEvent is heap bytes allocated per simulated event —
+	// the size-weighted companion to AllocsPerEvent, which catches a
+	// refactor that trades many small allocations for fewer huge ones.
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event,omitempty"`
 
 	CacheRequests int64 `json:"cache_requests,omitempty"`
 	CacheHits     int64 `json:"cache_hits,omitempty"`

@@ -75,6 +75,10 @@ func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
 	add("suite wall (s)", base.SuiteWallSeconds, fresh.SuiteWallSeconds, true)
 	add("events/sec", base.EventsPerSec, fresh.EventsPerSec, false)
 	add("allocs/event", base.AllocsPerEvent, fresh.AllocsPerEvent, true)
+	// Older baselines predate the bytes-per-event column (zero there):
+	// regressionPct treats a zero base as "no reference", so the row
+	// renders but never gates until the baseline is re-recorded.
+	add("alloc bytes/event", base.AllocBytesPerEvent, fresh.AllocBytesPerEvent, true)
 
 	baseByID := make(map[string]Experiment, len(base.Experiments))
 	for _, e := range base.Experiments {

@@ -434,7 +434,7 @@ func TestFig3ScaleInvariance(t *testing.T) {
 				t.Fatal(err)
 			}
 			spec := workload.Q3Join(tpch.ScaleFactor(sf), 0.05, 0.05, pstore.DualShuffle)
-			res, j, err := pstore.RunJoin(c, engineCfg(), spec)
+			res, j, err := pstore.RunJoin(c, engineCfg(Options{}), spec)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -18,8 +18,12 @@ import (
 // package comment). Override with Options.SF.
 const Fig35SF = tpch.ScaleFactor(100)
 
-func engineCfg() pstore.Config {
-	return pstore.Config{WarmCache: true, BatchRows: 200_000}
+func engineCfg(o Options) pstore.Config {
+	cfg := pstore.Config{WarmCache: true, BatchRows: 200_000}
+	if o.BatchRows > 0 {
+		cfg.BatchRows = o.BatchRows
+	}
+	return cfg
 }
 
 // runSizes runs the given join spec at each cluster size and concurrency
@@ -40,7 +44,7 @@ func runSizes(o Options, title string, mkSpec func() pstore.JoinSpec, sizes []in
 		if err != nil {
 			return power.Point{}, err
 		}
-		makespan, _, joules, err := o.Joins.RunConcurrent(c, engineCfg(), mkSpec(), pt.k)
+		makespan, _, joules, err := o.Joins.RunConcurrent(c, engineCfg(o), mkSpec(), pt.k)
 		if err != nil {
 			return power.Point{}, fmt.Errorf("%s n=%d k=%d: %w", title, pt.n, pt.k, err)
 		}
@@ -143,7 +147,7 @@ func Fig5(o Options) (Result, error) {
 		if err != nil {
 			return power.Point{}, err
 		}
-		res, joules, err := o.Joins.RunJoin(c, engineCfg(), r.pl.mk())
+		res, joules, err := o.Joins.RunJoin(c, engineCfg(o), r.pl.mk())
 		if err != nil {
 			return power.Point{}, fmt.Errorf("%s n=%d: %w", r.pl.name, r.n, err)
 		}
@@ -265,7 +269,7 @@ func RunFig7(o Options, oSel float64, hetero bool) (ab, bw map[float64]pstore.Jo
 		if e != nil {
 			return outcome{}, e
 		}
-		res, joules, e := o.Joins.RunJoin(c, engineCfg(), spec)
+		res, joules, e := o.Joins.RunJoin(c, engineCfg(o), spec)
 		if e != nil {
 			return outcome{}, fmt.Errorf("%s O%v/L%v: %w", tag, oSel, pt.lSel, e)
 		}

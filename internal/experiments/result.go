@@ -33,6 +33,12 @@ type Options struct {
 	// Result is byte-identical at any setting (TestShardedMatchesSerial).
 	// <= 0 means GOMAXPROCS; 1 runs the grid serially.
 	Shards int
+	// BatchRows overrides the tuples-per-exchange-batch granularity of
+	// the engine-backed figures (default 200k). Results are batch-size
+	// sensitive only in event count and memory, not in which rows
+	// qualify; smaller batches mean more simulation events, larger ones
+	// fewer (clamped at pstore.MaxBatchRows). <= 0 keeps the default.
+	BatchRows int
 	// EnginePartitions partitions each engine-backed simulation itself:
 	// the simulated cluster's nodes split round-robin across this many
 	// sim.Engine partitions advanced under conservative time

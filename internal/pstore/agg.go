@@ -55,7 +55,15 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 		c.EngineFor(nd).Go(fmt.Sprintf("agg.scan.%d", nd), func(p *sim.Proc) {
 			var rows int64
 			var sum uint64
-			e.scanFilter(p, node, part, spec.Sel, func(p *sim.Proc, out storage.Batch) {
+			// Fold the aggregate over the scan cursor: each pulled batch is
+			// already filtered, so the loop only charges the agg work and
+			// accumulates — no intermediate batch list.
+			src := e.scan(p, node, part, spec.Sel)
+			for {
+				out, ok := src.Next()
+				if !ok {
+					break
+				}
 				node.CPU.Process(p, out.Bytes()*spec.AggWork)
 				rows += int64(out.Rows)
 				if !out.Phantom() {
@@ -64,7 +72,7 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 						sum += uint64(keys.Int64(i))
 					}
 				}
-			})
+			}
 			// Ship the partial aggregate: one tiny tuple (32 bytes).
 			agg := storage.Batch{Rows: 1, Width: 32,
 				Cols: []storage.Column{storage.Int64Column{int64(rows)}, storage.Int64Column{int64(sum)}}}

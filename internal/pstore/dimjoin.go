@@ -85,31 +85,103 @@ func (e *Exec) buildDimFilters(dims []DimJoin, materialized bool) ([]*dimFilter,
 	return filters, buildBytes, nil
 }
 
-// apply filters a probe batch through every dimension semijoin, charging
-// the node's CPU for the evaluation work, and returns the surviving rows.
-func applyDimFilters(p *sim.Proc, cpu *sim.Server, filters []*dimFilter, b storage.Batch) storage.Batch {
-	for _, f := range filters {
-		if b.Rows == 0 {
-			return b
+// dimFilterCursor chains the replicated-dimension semijoins onto a probe
+// cursor: every pulled batch flows through all dimension filters before
+// it emerges, so rows eliminated by a selective dimension never reach
+// the exchange. Materialized batches are filtered on one shared
+// survivor row-index list narrowed per dimension, with a single column
+// gather at the end — instead of the old batch-in/batch-out copy per
+// dimension. The CPU charge per dimension is unchanged (surviving rows
+// x width x per-dimension work), so timing is byte-identical; only the
+// intermediate column copies disappear.
+type dimFilterCursor struct {
+	in      storage.Cursor
+	p       *sim.Proc
+	cpu     *sim.Server
+	filters []*dimFilter
+	idx     []int // shared survivor scratch, reused across batches
+}
+
+var _ storage.Cursor = (*dimFilterCursor)(nil)
+
+// Next yields the next batch with at least one surviving row.
+func (c *dimFilterCursor) Next() (storage.Batch, bool) {
+	for {
+		b, ok := c.in.Next()
+		if !ok {
+			return storage.Batch{}, false
 		}
-		cpu.Process(p, b.Bytes()*f.spec.work())
-		if b.Phantom() {
+		b = c.apply(b)
+		if b.Rows > 0 {
+			return b, true
+		}
+	}
+}
+
+// RowHint scales the input's hint by every dimension's selectivity —
+// the pushdown rule that lets downstream buffers pre-size for the
+// post-semijoin cardinality.
+func (c *dimFilterCursor) RowHint() (int64, bool) {
+	rows, ok := c.in.RowHint()
+	if !ok {
+		return 0, false
+	}
+	est := float64(rows)
+	for _, f := range c.filters {
+		est *= f.spec.Sel
+	}
+	return int64(est), true
+}
+
+// apply filters one batch through every dimension semijoin, charging the
+// node's CPU for the evaluation work, and returns the surviving rows.
+func (c *dimFilterCursor) apply(b storage.Batch) storage.Batch {
+	if b.Phantom() {
+		for _, f := range c.filters {
+			if b.Rows == 0 {
+				return b
+			}
+			c.cpu.Process(c.p, b.Bytes()*f.spec.work())
 			f.frac += float64(b.Rows) * f.spec.Sel
 			take := int(f.frac)
 			f.frac -= float64(take)
 			b = storage.Batch{Rows: take, Width: b.Width}
-			continue
 		}
-		col := b.Cols[f.spec.KeyCol]
-		var idx []int
-		for i := 0; i < b.Rows; i++ {
-			if f.qualify.Get(col.Int64(i)) != 0 {
-				idx = append(idx, i)
-			}
-		}
-		b = storage.FilterBatch(b, idx)
+		return b
 	}
-	return b
+	// Materialized: narrow the survivor list per dimension over the
+	// ORIGINAL batch's columns; gather once at the end.
+	rows := b.Rows
+	c.idx = c.idx[:0]
+	first := true
+	for _, f := range c.filters {
+		if rows == 0 {
+			break
+		}
+		c.cpu.Process(c.p, float64(rows)*float64(b.Width)*f.spec.work())
+		col := b.Cols[f.spec.KeyCol]
+		if first {
+			for i := 0; i < b.Rows; i++ {
+				if f.qualify.Get(col.Int64(i)) != 0 {
+					c.idx = append(c.idx, i)
+				}
+			}
+			first = false
+		} else {
+			kept := c.idx[:0]
+			for _, i := range c.idx {
+				if f.qualify.Get(col.Int64(i)) != 0 {
+					kept = append(kept, i)
+				}
+			}
+			c.idx = kept
+		}
+		rows = len(c.idx)
+	}
+	if first {
+		return b // no filters configured: pass through untouched
+	}
+	return storage.FilterBatch(b, c.idx)
 }
 
 // SupplierDim returns the standard Q21-style SUPPLIER dimension semijoin

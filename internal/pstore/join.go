@@ -13,13 +13,30 @@ import (
 
 // hashTable is a per-node build-side multiset (key -> multiplicity),
 // backed by an open-addressing storage.Int64Table pre-sized from the
-// build partition row counts so steady-state inserts never rehash.
+// build cursor's row hint so steady-state inserts never rehash.
 // Phantom runs track only row/byte totals.
 type hashTable struct {
 	counts *storage.Int64Table
 	hint   int // expected distinct build keys on this node
 	rows   int64
 	bytes  float64
+}
+
+// buildFrom folds the input cursor into the table. The cursor's row
+// hint pre-sizes the table before the first batch lands (the table
+// itself is still created lazily at the first materialized batch, so
+// phantom runs never allocate it).
+func (h *hashTable) buildFrom(c storage.Cursor) {
+	if rows, ok := c.RowHint(); ok && int(rows) > h.hint {
+		h.hint = int(rows)
+	}
+	for {
+		b, ok := c.Next()
+		if !ok {
+			return
+		}
+		h.insertBatch(b)
+	}
 }
 
 func (h *hashTable) insertBatch(b storage.Batch) {
@@ -62,6 +79,61 @@ func (h *hashTable) probeBatch(b storage.Batch, matchRate float64, fracAcc *floa
 	}
 	return matches, sum
 }
+
+// queueCursor adapts the bounded queue between a scan and its ship
+// process to the Cursor interface, forwarding the scan's row hint so
+// the exchange side of the pipeline sees the same cardinality estimate
+// the scan pushed down.
+type queueCursor struct {
+	p      *sim.Proc
+	q      *sim.Queue[storage.Batch]
+	hint   int64
+	hintOK bool
+}
+
+var _ storage.Cursor = (*queueCursor)(nil)
+
+func (c *queueCursor) Next() (storage.Batch, bool) { return c.q.Get(c.p) }
+
+func (c *queueCursor) RowHint() (int64, bool) { return c.hint, c.hintOK }
+
+// mailboxCursor drains a node mailbox as a cursor, preserving the
+// vectorized consumption pattern: batches are received in groups of up
+// to 64 and the node's CPU is charged once per group (join work over
+// the group's bytes) before any batch from it is yielded.
+type mailboxCursor struct {
+	p    *sim.Proc
+	mb   *cluster.Mailbox
+	cpu  *sim.Server
+	work float64
+	hint int64
+	ok   bool // hint validity
+
+	buf []storage.Batch // current group, reused across receives
+	i   int
+}
+
+var _ storage.Cursor = (*mailboxCursor)(nil)
+
+func (c *mailboxCursor) Next() (storage.Batch, bool) {
+	for c.i >= len(c.buf) {
+		batches, ok := c.mb.RecvManyInto(c.p, c.buf[:0], 64)
+		if !ok {
+			return storage.Batch{}, false
+		}
+		c.buf, c.i = batches, 0
+		var bytes float64
+		for _, b := range batches {
+			bytes += b.Bytes()
+		}
+		c.cpu.Process(c.p, bytes*c.work)
+	}
+	b := c.buf[c.i]
+	c.i++
+	return b, true
+}
+
+func (c *mailboxCursor) RowHint() (int64, bool) { return c.hint, c.ok }
 
 // Handle tracks one in-flight join query.
 type Handle struct {
@@ -129,15 +201,11 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		tables:     make(map[int]*hashTable, len(buildNodes)),
 		fracByNode: make(map[int]*float64, len(buildNodes)),
 	}
-	// Pre-size each owner's hash table from the build cardinality: every
-	// owner holds a full copy under broadcast, a 1/len(buildNodes) share
-	// under the hash-routed plans.
-	hint := int(float64(spec.Build.TotalRows()) * spec.BuildSel)
-	if spec.Method != Broadcast && len(buildNodes) > 0 {
-		hint = hint/len(buildNodes) + 1
-	}
+	// Expected qualified build rows per hash-table owner: the optimizer
+	// estimate carried to each owner's build cursor for pre-sizing.
+	hint := hashOwnerRowHint(spec, len(buildNodes))
 	for _, b := range buildNodes {
-		h.tables[b] = &hashTable{hint: hint}
+		h.tables[b] = &hashTable{}
 		var f float64
 		h.fracByNode[b] = &f
 	}
@@ -168,23 +236,11 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		b := b
 		node := e.C.Nodes[b]
 		e.C.EngineFor(b).Go(fmt.Sprintf("%s.buildcons.%d", id, b), func(p *sim.Proc) {
-			ht := h.tables[b]
-			var buf []storage.Batch
-			for {
-				batches, ok := buildMB[b].RecvManyInto(p, buf[:0], 64)
-				if !ok {
-					break
-				}
-				buf = batches
-				var bytes float64
-				for _, batch := range batches {
-					bytes += batch.Bytes()
-				}
-				node.CPU.Process(p, bytes*e.cfg.JoinWork)
-				for _, batch := range batches {
-					ht.insertBatch(batch)
-				}
+			in := &mailboxCursor{
+				p: p, mb: buildMB[b], cpu: node.CPU, work: e.cfg.JoinWork,
+				hint: int64(hint), ok: true,
 			}
+			h.tables[b].buildFrom(in)
 			h.buildWG.Done()
 		})
 	}
@@ -200,37 +256,50 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		node := e.C.Nodes[nd]
 		part := buildParts[nd]
 		e.C.EngineFor(nd).Go(fmt.Sprintf("%s.buildscan.%d", id, nd), func(p *sim.Proc) {
+			scanHint := int64(float64(part.Rows) * spec.BuildSel)
 			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.bq.%d", id, nd), e.cfg.MailboxCap)
 			e.C.EngineFor(nd).Go(fmt.Sprintf("%s.buildship.%d", id, nd), func(sp *sim.Proc) {
-				rt := newRouter(buildNodes, nil)
-				for {
-					out, ok := sendQ.Get(sp)
-					if !ok {
-						break
-					}
-					switch spec.Method {
-					case Broadcast:
-						// Every hash-table owner receives a full copy.
+				in := &queueCursor{p: sp, q: sendQ, hint: scanHint, hintOK: true}
+				var ship func(out storage.Batch)
+				switch spec.Method {
+				case Broadcast:
+					// Every hash-table owner receives a full copy.
+					ship = func(out storage.Batch) {
 						for _, dst := range buildNodes {
 							e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: out, Dest: buildMB[dst]})
 						}
-					case Prepartitioned:
-						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: buildMB[nd]})
-					default: // DualShuffle
-						for _, rb := range rt.route(out) {
-							if !rb.skip {
-								e.C.Send(sp, cluster.Message{From: nd, To: rb.dst, Batch: rb.b, Dest: buildMB[rb.dst]})
-							}
-						}
 					}
+				case Prepartitioned:
+					ship = func(out storage.Batch) {
+						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: buildMB[nd]})
+					}
+				default: // DualShuffle
+					rt := newRouter(buildNodes, nil)
+					ship = func(out storage.Batch) {
+						rt.routeEach(out, func(dst int, b storage.Batch) {
+							e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: b, Dest: buildMB[dst]})
+						})
+					}
+				}
+				for {
+					out, ok := in.Next()
+					if !ok {
+						break
+					}
+					ship(out)
 				}
 				for _, dst := range buildNodes {
 					e.C.Send(sp, cluster.Message{From: nd, To: dst, EOS: true, Dest: buildMB[dst]})
 				}
 			})
-			e.scanFilter(p, node, part, spec.BuildSel, func(p *sim.Proc, out storage.Batch) {
+			src := e.scan(p, node, part, spec.BuildSel)
+			for {
+				out, ok := src.Next()
+				if !ok {
+					break
+				}
 				sendQ.Put(p, out)
-			})
+			}
 			sendQ.Close()
 		})
 	}
@@ -242,23 +311,15 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		node := e.C.Nodes[b]
 		e.C.EngineFor(b).Go(fmt.Sprintf("%s.probecons.%d", id, b), func(p *sim.Proc) {
 			ht, frac := h.tables[b], h.fracByNode[b]
-			var buf []storage.Batch
+			in := &mailboxCursor{p: p, mb: probeMB[b], cpu: node.CPU, work: e.cfg.JoinWork}
 			for {
-				batches, ok := probeMB[b].RecvManyInto(p, buf[:0], 64)
+				batch, ok := in.Next()
 				if !ok {
 					break
 				}
-				buf = batches
-				var bytes float64
-				for _, batch := range batches {
-					bytes += batch.Bytes()
-				}
-				node.CPU.Process(p, bytes*e.cfg.JoinWork)
-				for _, batch := range batches {
-					rows, sum := ht.probeBatch(batch, matchRate, frac)
-					h.outRows += rows
-					h.checksum += sum
-				}
+				rows, sum := ht.probeBatch(batch, matchRate, frac)
+				h.outRows += rows
+				h.checksum += sum
 			}
 			h.probeWG.Done()
 		})
@@ -292,34 +353,47 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 			} else if dimBuildBytes > 0 {
 				node.CPU.Process(p, dimBuildBytes*e.cfg.JoinWork)
 			}
+			// The ship side's cardinality estimate: scan selectivity
+			// compounded with every dimension's (the pushdown rule).
+			est := float64(part.Rows) * spec.ProbeSel
+			for _, f := range dimFilters {
+				est *= f.spec.Sel
+			}
 			local := isBuild[nd] && (spec.Method == Broadcast || spec.Method == Prepartitioned)
 			sendQ := sim.NewQueue[storage.Batch](fmt.Sprintf("%s.pq.%d", id, nd), e.cfg.MailboxCap)
 			e.C.EngineFor(nd).Go(fmt.Sprintf("%s.probeship.%d", id, nd), func(sp *sim.Proc) {
-				rr := nd // round-robin cursor for non-owner broadcast probes
-				rt := newRouter(buildNodes, probeWeights)
-				for {
-					out, ok := sendQ.Get(sp)
-					if !ok {
-						break
-					}
-					switch {
-					case local:
-						// Probe against the local (full or co-partitioned)
-						// hash table; no exchange.
+				in := &queueCursor{p: sp, q: sendQ, hint: int64(est), hintOK: true}
+				var ship func(out storage.Batch)
+				switch {
+				case local:
+					// Probe against the local (full or co-partitioned)
+					// hash table; no exchange.
+					ship = func(out storage.Batch) {
 						e.C.Send(sp, cluster.Message{From: nd, To: nd, Batch: out, Dest: probeMB[nd]})
-					case spec.Method == Broadcast || spec.Method == Prepartitioned:
-						// Non-owner under broadcast: any owner can probe
-						// (they all hold the full table) — round-robin.
+					}
+				case spec.Method == Broadcast || spec.Method == Prepartitioned:
+					// Non-owner under broadcast: any owner can probe
+					// (they all hold the full table) — round-robin.
+					rr := nd
+					ship = func(out storage.Batch) {
 						dst := buildNodes[rr%len(buildNodes)]
 						rr++
 						e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: out, Dest: probeMB[dst]})
-					default: // DualShuffle: route by join key.
-						for _, rb := range rt.route(out) {
-							if !rb.skip {
-								e.C.Send(sp, cluster.Message{From: nd, To: rb.dst, Batch: rb.b, Dest: probeMB[rb.dst]})
-							}
-						}
 					}
+				default: // DualShuffle: route by join key.
+					rt := newRouter(buildNodes, probeWeights)
+					ship = func(out storage.Batch) {
+						rt.routeEach(out, func(dst int, b storage.Batch) {
+							e.C.Send(sp, cluster.Message{From: nd, To: dst, Batch: b, Dest: probeMB[dst]})
+						})
+					}
+				}
+				for {
+					out, ok := in.Next()
+					if !ok {
+						break
+					}
+					ship(out)
 				}
 				// EOS fan-out mirrors the mailbox sender counts.
 				if spec.Method == Broadcast || spec.Method == Prepartitioned {
@@ -336,14 +410,17 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 					}
 				}
 			})
-			e.scanFilter(p, node, part, spec.ProbeSel, func(p *sim.Proc, out storage.Batch) {
-				if len(dimFilters) > 0 {
-					out = applyDimFilters(p, node.CPU, dimFilters, out)
+			var src storage.Cursor = e.scan(p, node, part, spec.ProbeSel)
+			if len(dimFilters) > 0 {
+				src = &dimFilterCursor{in: src, p: p, cpu: node.CPU, filters: dimFilters}
+			}
+			for {
+				out, ok := src.Next()
+				if !ok {
+					break
 				}
-				if out.Rows > 0 {
-					sendQ.Put(p, out)
-				}
-			})
+				sendQ.Put(p, out)
+			}
 			sendQ.Close()
 		})
 	}
@@ -397,20 +474,10 @@ type router struct {
 	weights []float64 // nil = uniform
 	acc     []float64
 
-	// Reused per-route scratch: out holds one routed sub-batch per
-	// destination slot, idx the per-destination row lists of the batch
-	// being split. Both live for the router's lifetime so the exchange
-	// hot path allocates nothing per batch (phantom runs).
-	out []routedBatch
+	// Reused per-route scratch: the per-destination row lists of the
+	// batch being split. Lives for the router's lifetime so the exchange
+	// hot path allocates nothing per batch.
 	idx [][]int
-}
-
-// routedBatch is one destination's share of a routed batch. Skip is set
-// when the destination receives nothing from this batch.
-type routedBatch struct {
-	dst  int
-	b    storage.Batch
-	skip bool
 }
 
 func newRouter(dests []int, weights []float64) *router {
@@ -418,25 +485,22 @@ func newRouter(dests []int, weights []float64) *router {
 		dests:   dests,
 		weights: weights,
 		acc:     make([]float64, len(dests)),
-		out:     make([]routedBatch, len(dests)),
 		idx:     make([][]int, len(dests)),
 	}
 }
 
-// route splits b across the router's destinations. The returned slice is
-// owned by the router and valid only until the next route call; entries
-// with skip=true carry no data for their destination.
-func (r *router) route(b storage.Batch) []routedBatch {
+// routeEach splits b across the router's destinations, invoking emit
+// once per destination that receives rows, in destination order. No
+// per-batch routed slice exists: the consumer (a ship process) sends
+// each share as it is produced.
+func (r *router) routeEach(b storage.Batch, emit func(dst int, b storage.Batch)) {
 	d := len(r.dests)
-	for i, dst := range r.dests {
-		r.out[i] = routedBatch{dst: dst, skip: true}
-	}
 	if d == 1 {
-		r.out[0] = routedBatch{dst: r.dests[0], b: b}
-		return r.out
+		emit(r.dests[0], b)
+		return
 	}
 	if b.Phantom() {
-		for i := range r.dests {
+		for i, dst := range r.dests {
 			w := 1.0 / float64(d)
 			if r.weights != nil {
 				w = r.weights[i]
@@ -445,10 +509,10 @@ func (r *router) route(b storage.Batch) []routedBatch {
 			take := int(r.acc[i])
 			r.acc[i] -= float64(take)
 			if take > 0 {
-				r.out[i] = routedBatch{dst: r.dests[i], b: storage.Batch{Rows: take, Width: b.Width}}
+				emit(dst, storage.Batch{Rows: take, Width: b.Width})
 			}
 		}
-		return r.out
+		return
 	}
 	keys := b.Cols[storage.ColKey]
 	for j := range r.idx {
@@ -460,10 +524,9 @@ func (r *router) route(b storage.Batch) []routedBatch {
 	}
 	for j, rows := range r.idx {
 		if len(rows) > 0 {
-			r.out[j] = routedBatch{dst: r.dests[j], b: storage.FilterBatch(b, rows)}
+			emit(r.dests[j], storage.FilterBatch(b, rows))
 		}
 	}
-	return r.out
 }
 
 // skewWeights returns the per-destination share of rows when join keys

@@ -25,6 +25,20 @@ import (
 	"repro/internal/storage"
 )
 
+// hashOwnerRowHint estimates the qualified build rows each hash-table
+// owner will hold — the optimizer-information half of the presize path
+// (Section 6's "query optimizer information"): every owner holds a full
+// copy under Broadcast, a 1/owners share under the hash-routed plans.
+// The estimate seeds each owner's build cursor's row hint, which
+// pre-sizes the hash table before the first batch arrives.
+func hashOwnerRowHint(spec JoinSpec, owners int) int {
+	hint := int(float64(spec.Build.TotalRows()) * spec.BuildSel)
+	if spec.Method != Broadcast && owners > 0 {
+		hint = hint/owners + 1
+	}
+	return hint
+}
+
 // PlanRequest describes a join to be planned.
 type PlanRequest struct {
 	Build, Probe       storage.TableDef

@@ -9,14 +9,18 @@ import (
 	"repro/internal/tpch"
 )
 
-// scanFilter streams a node-local partition through scan + select +
-// project, invoking emit for every filtered batch. Resource charging:
+// scanCursor is the selection-pushdown scan: the leaf of every operator
+// pipeline. Each Next pulls one block, charges the scan's resources,
+// evaluates the predicate inside the block read, and yields only the
+// qualifying rows — downstream operators never see raw blocks and no
+// intermediate batch slice exists anywhere on the path. Resource
+// charging per block:
 //
 //   - cold cache: a disk prefetch process books the disk server at I
-//     MB/s for raw bytes, feeding a bounded queue; the filter process
-//     books the CPU at C MB/s for the same raw bytes. The pipeline
-//     overlaps the two, so the effective scan rate is min(I, C) — the
-//     paper's disk-bound regime;
+//     MB/s for raw bytes, feeding a bounded queue; Next books the CPU at
+//     C MB/s for the same raw bytes. The pipeline overlaps the two, so
+//     the effective scan rate is min(I, C) — the paper's disk-bound
+//     regime;
 //   - warm cache: only the CPU is charged (the §5.3.1 validation regime:
 //     "we changed the scan rate of the build phase to that of the
 //     maximum CPU bandwidth").
@@ -24,74 +28,104 @@ import (
 // Filtering: materialized batches evaluate the predicate "selcol <
 // threshold" row-by-row; phantom batches shrink analytically with
 // deterministic remainder accounting so total qualified rows are exact.
-func (e *Exec) scanFilter(p *sim.Proc, node *cluster.Node, part *storage.Partition,
-	sel float64, emit func(p *sim.Proc, b storage.Batch)) {
+//
+// RowHint is the selectivity pushed back up: expected qualified rows =
+// partition rows x selectivity, which downstream consumers use to
+// pre-size hash tables before the first batch lands.
+type scanCursor struct {
+	p    *sim.Proc
+	node *cluster.Node
+	sel  float64
 
-	thr := tpch.SelThreshold(sel)
-	selIdx := selColIndex(part.Def.Table)
+	thr    int64
+	selIdx int
 
-	// Deterministic fractional-row accumulator for phantom filtering.
-	var acc float64
-	// Row-index scratch reused across materialized batches.
-	var idx []int
+	acc float64 // phantom fractional-row accumulator
+	idx []int   // materialized row-index scratch, reused across blocks
 
-	// Cursors stream blocks without materializing the per-scan []Batch
-	// slice (a paper-scale phantom scan is tens of thousands of blocks).
-	// Warm scans consume the cursor directly; cold scans iterate it from
-	// the disk-pump process instead and read the prefetch queue here.
-	var cur storage.BatchCursor
-	var prefetch *sim.Queue[storage.Batch]
-	if e.cfg.WarmCache {
-		cur = part.Cursor(e.cfg.BatchRows)
-	} else {
-		prefetch = sim.NewQueue[storage.Batch](fmt.Sprintf("n%d.prefetch", node.ID), 4)
-		p.Engine().Go(fmt.Sprintf("n%d.diskpump", node.ID), func(dp *sim.Proc) {
-			pump := part.Cursor(e.cfg.BatchRows)
-			for {
-				b, ok := pump.Next()
-				if !ok {
-					break
-				}
-				node.Disk.Process(dp, b.Bytes())
-				prefetch.Put(dp, b)
+	warm     bool
+	cur      storage.BatchCursor       // warm path: direct block reads
+	prefetch *sim.Queue[storage.Batch] // cold path: disk-pump output
+	hint     int64
+}
+
+var _ storage.Cursor = (*scanCursor)(nil)
+
+// scan opens the scan-filter cursor over a node-local partition. The
+// calling process owns the cursor: Next blocks it on the simulated
+// resources. Cold scans additionally spawn the disk-pump process here,
+// so construction must happen at the operator's start position.
+func (e *Exec) scan(p *sim.Proc, node *cluster.Node, part *storage.Partition, sel float64) *scanCursor {
+	c := &scanCursor{
+		p: p, node: node, sel: sel,
+		thr:    tpch.SelThreshold(sel),
+		selIdx: selColIndex(part.Def.Table),
+		warm:   e.cfg.WarmCache,
+		hint:   int64(float64(part.Rows) * sel),
+	}
+	if c.warm {
+		c.cur = part.Cursor(e.cfg.BatchRows)
+		return c
+	}
+	c.prefetch = sim.NewQueue[storage.Batch](fmt.Sprintf("n%d.prefetch", node.ID), 4)
+	p.Engine().Go(fmt.Sprintf("n%d.diskpump", node.ID), func(dp *sim.Proc) {
+		pump := part.Cursor(e.cfg.BatchRows)
+		for {
+			b, ok := pump.Next()
+			if !ok {
+				break
 			}
-			prefetch.Close()
-		})
-	}
-
-	next := func() (storage.Batch, bool) {
-		if e.cfg.WarmCache {
-			return cur.Next()
+			node.Disk.Process(dp, b.Bytes())
+			c.prefetch.Put(dp, b)
 		}
-		return prefetch.Get(p)
-	}
+		c.prefetch.Close()
+	})
+	return c
+}
 
+// Next yields the next non-empty filtered batch; ok=false when the
+// partition is exhausted.
+func (c *scanCursor) Next() (storage.Batch, bool) {
 	for {
-		b, ok := next()
+		b, ok := c.read()
 		if !ok {
-			break
+			return storage.Batch{}, false
 		}
 		// CPU cost of scan+select+project: raw bytes through the pipeline.
-		node.CPU.Process(p, b.Bytes())
-
-		var out storage.Batch
-		if b.Phantom() {
-			acc += float64(b.Rows) * sel
-			take := int(acc)
-			acc -= float64(take)
-			out = storage.Batch{Rows: take, Width: b.Width}
-		} else {
-			idx = idx[:0]
-			col := b.Cols[selIdx]
-			for r := 0; r < b.Rows; r++ {
-				if col.Int64(r) < thr {
-					idx = append(idx, r)
-				}
-			}
-			out = storage.FilterBatch(b, idx)
-		}
+		c.node.CPU.Process(c.p, b.Bytes())
+		out := c.filter(b)
 		if out.Rows > 0 {
-			emit(p, out)
+			return out, true
 		}
 	}
+}
+
+// RowHint returns the expected qualified row count (rows x selectivity).
+func (c *scanCursor) RowHint() (int64, bool) { return c.hint, true }
+
+// read pulls the next raw block: straight from the partition cursor when
+// warm, from the disk prefetch queue when cold.
+func (c *scanCursor) read() (storage.Batch, bool) {
+	if c.warm {
+		return c.cur.Next()
+	}
+	return c.prefetch.Get(c.p)
+}
+
+// filter applies the pushed-down selection to one raw block.
+func (c *scanCursor) filter(b storage.Batch) storage.Batch {
+	if b.Phantom() {
+		c.acc += float64(b.Rows) * c.sel
+		take := int(c.acc)
+		c.acc -= float64(take)
+		return storage.Batch{Rows: take, Width: b.Width}
+	}
+	c.idx = c.idx[:0]
+	col := b.Cols[c.selIdx]
+	for r := 0; r < b.Rows; r++ {
+		if col.Int64(r) < c.thr {
+			c.idx = append(c.idx, r)
+		}
+	}
+	return storage.FilterBatch(b, c.idx)
 }

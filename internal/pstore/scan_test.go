@@ -1,0 +1,99 @@
+package pstore
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Property: the streamed scan (scanCursor pulled inside a simulation
+// process, warm and cold paths) yields exactly the row counts and key
+// checksums of a materialized reference scan over the same partition's
+// block list, across selectivities and for both phantom and
+// materialized representations.
+func TestScanCursorMatchesMaterializedScan(t *testing.T) {
+	const batchRows = 512
+	for _, mat := range []bool{true, false} {
+		def := storage.TableDef{Table: tpch.Lineitem, SF: testSF, Width: tpch.Q3ProjectedWidth,
+			Placement: storage.HashSegmented, SegmentColumn: "L_SHIPDATE", Materialize: mat}
+		if !mat {
+			def.RowsOverride = 50_007 // phantom: bound the row loop, indivisible by the block size
+		}
+		for _, sel := range []float64{0.01, 0.10, 0.50, 1.00} {
+			for _, warm := range []bool{true, false} {
+				c, err := cluster.New(cluster.Homogeneous(1, hw.BeefyL5630()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := New(c, Config{BatchRows: batchRows, WarmCache: warm})
+				parts, err := storage.PartitionTable(def, 1, batchRows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part := parts[0]
+
+				var gotRows int64
+				var gotSum uint64
+				var hint int64
+				c.Eng.Go("scan", func(p *sim.Proc) {
+					sc := e.scan(p, c.Nodes[0], part, sel)
+					hint, _ = sc.RowHint()
+					for {
+						b, ok := sc.Next()
+						if !ok {
+							break
+						}
+						if b.Rows == 0 {
+							t.Error("scan cursor yielded an empty batch")
+						}
+						gotRows += int64(b.Rows)
+						if !b.Phantom() {
+							keys := b.Cols[storage.ColKey]
+							for i := 0; i < b.Rows; i++ {
+								gotSum += uint64(keys.Int64(i))
+							}
+						}
+					}
+				})
+				c.Run()
+
+				// Materialized reference: the same predicate over the
+				// partition's block list, with the same deterministic
+				// fractional accounting for phantom blocks.
+				thr := tpch.SelThreshold(sel)
+				selIdx := selColIndex(def.Table)
+				var wantRows int64
+				var wantSum uint64
+				var acc float64
+				for _, b := range part.Batches(batchRows) {
+					if b.Phantom() {
+						acc += float64(b.Rows) * sel
+						take := int(acc)
+						acc -= float64(take)
+						wantRows += int64(take)
+						continue
+					}
+					col := b.Cols[selIdx]
+					keys := b.Cols[storage.ColKey]
+					for i := 0; i < b.Rows; i++ {
+						if col.Int64(i) < thr {
+							wantRows++
+							wantSum += uint64(keys.Int64(i))
+						}
+					}
+				}
+				if gotRows != wantRows || gotSum != wantSum {
+					t.Fatalf("mat=%v sel=%v warm=%v: streamed (rows=%d sum=%d) != reference (rows=%d sum=%d)",
+						mat, sel, warm, gotRows, gotSum, wantRows, wantSum)
+				}
+				if want := int64(float64(part.Rows) * sel); hint != want {
+					t.Fatalf("mat=%v sel=%v: RowHint = %d, want %d", mat, sel, hint, want)
+				}
+			}
+		}
+	}
+}

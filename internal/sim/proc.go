@@ -170,8 +170,12 @@ func (wg *WaitGroup) Done() {
 		panic("sim: WaitGroup counter negative")
 	}
 	if wg.count == 0 {
+		// Truncate in place instead of nilling: wake callbacks only
+		// schedule resume events, so the backing array can be reused by
+		// the next wait cycle without a fresh allocation per park (see
+		// Queue.wakeGetters for the full invariant).
 		ws := wg.waiters
-		wg.waiters = nil
+		wg.waiters = wg.waiters[:0]
 		for _, w := range ws {
 			w()
 		}
@@ -200,7 +204,7 @@ func (ev *Event) Fire() {
 	}
 	ev.fired = true
 	ws := ev.waiters
-	ev.waiters = nil
+	ev.waiters = nil // one-shot: the list is never refilled, release it
 	for _, w := range ws {
 		w()
 	}

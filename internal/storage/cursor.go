@@ -1,0 +1,74 @@
+package storage
+
+// Cursor is the streaming interface batches flow through between
+// operators: a pull-based lazy sequence of blocks. Operators compose as
+// cursor combinators (a filter wraps a scan, a join pulls from both
+// inputs) so no stage ever materializes an intermediate batch slice —
+// at paper scale a single scan is tens of thousands of blocks per node,
+// and the slices between operators, not the DES kernel, were what
+// capped the reachable scale factor by memory.
+//
+// RowHint carries cardinality estimates downstream: a selection-pushdown
+// scan knows its expected qualified row count, so the operator consuming
+// it can pre-size buffers and hash tables before the first batch
+// arrives instead of growing them under load.
+type Cursor interface {
+	// Next returns the next batch; ok=false when the stream is
+	// exhausted. Exhaustion is final: implementations need not be
+	// re-iterable.
+	Next() (b Batch, ok bool)
+	// RowHint estimates the total rows the cursor will yield over its
+	// whole lifetime (not the remainder). ok=false means unknown; the
+	// estimate is for pre-sizing only and carries no exactness
+	// guarantee.
+	RowHint() (rows int64, ok bool)
+}
+
+// BatchCursor streams a partition's blocks one at a time — the leaf
+// cursor every operator pipeline bottoms out in. Unlike Batches, a
+// phantom partition's cursor never materializes the block slice: blocks
+// are synthesized on demand from the remaining row count.
+type BatchCursor struct {
+	batches []Batch // materialized blocks; nil for phantom partitions
+	i       int
+	left    int // phantom rows remaining
+	rows    int // phantom rows per block
+	width   int
+	hint    int64 // total rows at construction
+}
+
+var _ Cursor = (*BatchCursor)(nil)
+
+// Cursor returns a cursor over the partition's blocks of blockRows each.
+func (p *Partition) Cursor(blockRows int) BatchCursor {
+	if p.batches != nil {
+		return BatchCursor{batches: p.batches, hint: p.Rows}
+	}
+	return BatchCursor{left: int(p.Rows), rows: blockRows, width: p.Def.Width, hint: p.Rows}
+}
+
+// Next returns the next block; ok is false when the partition is
+// exhausted.
+func (c *BatchCursor) Next() (b Batch, ok bool) {
+	if c.batches != nil {
+		if c.i >= len(c.batches) {
+			return Batch{}, false
+		}
+		b = c.batches[c.i]
+		c.i++
+		return b, true
+	}
+	if c.left <= 0 {
+		return Batch{}, false
+	}
+	r := c.rows
+	if c.left < r {
+		r = c.left
+	}
+	c.left -= r
+	return Batch{Rows: r, Width: c.width}, true
+}
+
+// RowHint returns the partition's exact row count (a leaf scan knows its
+// cardinality precisely).
+func (c *BatchCursor) RowHint() (int64, bool) { return c.hint, true }

@@ -36,6 +36,17 @@ func NewInt64Table(hint int) *Int64Table {
 	}
 }
 
+// Reserve grows the table so at least n entries fit under the 3/4
+// load-factor bound without further rehashing — the presize path
+// NewInt64Table takes at construction, available after the fact for
+// callers that learn a cardinality hint late (a join build pulling from
+// a cursor whose row hint arrives with the stream).
+func (t *Int64Table) Reserve(n int) {
+	for len(t.keys)*3/4 < n {
+		t.grow()
+	}
+}
+
 // Len returns the number of distinct keys stored.
 func (t *Int64Table) Len() int {
 	if t.hasZero {

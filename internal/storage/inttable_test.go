@@ -101,3 +101,38 @@ func TestInt64TableGrowth(t *testing.T) {
 		}
 	}
 }
+
+// TestInt64TableReserve checks the late presize path: reserving for n
+// entries up front must make subsequent inserts growth-free (capacity
+// stable), preserve existing contents across the rehash, and be a no-op
+// when the table is already big enough.
+func TestInt64TableReserve(t *testing.T) {
+	const n = 50_000
+	tbl := NewInt64Table(0)
+	for i := int64(1); i <= 100; i++ {
+		tbl.Add(i, i*2)
+	}
+	tbl.Reserve(n)
+	capAfter := len(tbl.keys)
+	if capAfter*3/4 < n {
+		t.Fatalf("Reserve(%d) left capacity %d (load bound %d)", n, capAfter, capAfter*3/4)
+	}
+	for i := int64(101); i <= n; i++ {
+		tbl.Add(i, i*2)
+	}
+	if len(tbl.keys) != capAfter {
+		t.Fatalf("table grew from %d to %d slots after Reserve(%d)", capAfter, len(tbl.keys), n)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), n)
+	}
+	for i := int64(1); i <= n; i++ {
+		if got := tbl.Get(i); got != i*2 {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, i*2)
+		}
+	}
+	tbl.Reserve(10) // already satisfied: must not shrink or rehash
+	if len(tbl.keys) != capAfter {
+		t.Fatalf("Reserve(10) changed capacity %d -> %d", capAfter, len(tbl.keys))
+	}
+}

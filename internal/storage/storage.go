@@ -173,49 +173,6 @@ func (p *Partition) Batches(blockRows int) []Batch {
 	return out
 }
 
-// BatchCursor streams a partition's blocks one at a time. Unlike
-// Batches, a phantom partition's cursor never materializes the block
-// slice — at paper scale a single SF 1000 LINEITEM scan is tens of
-// thousands of blocks per node, so the per-scan slice was the last
-// steady-state allocation on the scan path.
-type BatchCursor struct {
-	batches []Batch // materialized blocks; nil for phantom partitions
-	i       int
-	left    int // phantom rows remaining
-	rows    int // phantom rows per block
-	width   int
-}
-
-// Cursor returns a cursor over the partition's blocks of blockRows each.
-func (p *Partition) Cursor(blockRows int) BatchCursor {
-	if p.batches != nil {
-		return BatchCursor{batches: p.batches}
-	}
-	return BatchCursor{left: int(p.Rows), rows: blockRows, width: p.Def.Width}
-}
-
-// Next returns the next block; ok is false when the partition is
-// exhausted.
-func (c *BatchCursor) Next() (b Batch, ok bool) {
-	if c.batches != nil {
-		if c.i >= len(c.batches) {
-			return Batch{}, false
-		}
-		b = c.batches[c.i]
-		c.i++
-		return b, true
-	}
-	if c.left <= 0 {
-		return Batch{}, false
-	}
-	r := c.rows
-	if c.left < r {
-		r = c.left
-	}
-	c.left -= r
-	return Batch{Rows: r, Width: c.width}, true
-}
-
 // KeyFunc extracts the segmentation key from a table row index.
 type KeyFunc func(row int64) int64
 

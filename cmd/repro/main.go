@@ -15,6 +15,7 @@
 //	repro -exp all -bench-json     also write a BENCH_<date>.json snapshot
 //	repro -exp all -bench-json -bench-o ci.json   snapshot to a chosen path
 //	repro -exp fig3 -engine-partitions 4   distributed-DES run (same output)
+//	repro -exp htap1 -htap-rates 0,4,32    sweep the HTAP update stream (Mrows/s)
 //	repro -exp fig3 -cpuprofile cpu.prof   capture a pprof CPU profile
 //
 // Experiments run concurrently on a bounded worker pool (one private
@@ -72,6 +73,7 @@ func main() {
 		benchForce = flag.Bool("bench-force", false, "allow -bench-json to overwrite an existing snapshot file")
 		partitions = flag.Int("engine-partitions", 0, "split each simulated cluster across this many time-synchronized DES engine partitions (0/1 = one engine; output is byte-identical)")
 		batchRows  = flag.Int("batch-rows", 0, "tuples per exchange batch for the engine figures (0 = default 200000; clamped at the engine maximum)")
+		htapRates  = flag.String("htap-rates", "", "comma-separated update-stream rates for htap1, in Mrows/s (default 0,2,8,16; first rate is the normalization baseline)")
 	)
 	flag.Parse()
 
@@ -121,6 +123,16 @@ func main() {
 				}
 			}
 			expOpts.Concurrency = append(expOpts.Concurrency, k)
+		}
+	}
+	if *htapRates != "" {
+		for _, f := range strings.Split(*htapRates, ",") {
+			m, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				fmt.Fprintf(os.Stderr, "repro: bad -htap-rates value %q (want a non-negative Mrows/s number)\n", f)
+				os.Exit(2)
+			}
+			expOpts.HTAPRates = append(expOpts.HTAPRates, m*1e6)
 		}
 	}
 	var joinCache *pstore.Cache

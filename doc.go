@@ -8,6 +8,11 @@
 // simulator, regenerates every table and figure of the evaluation, and
 // implements the paper's stated future work (data skew, entire
 // workloads with power management, DVFS, replication-based elasticity).
+// An HTAP extension (internal/delta, experiments htap1/htap2)
+// re-measures the energy trade-offs with a transactional write path —
+// per-node delta stores, merged-view scans, background merges —
+// contending with the analytics for the same simulated hardware; see
+// README "The HTAP write path".
 //
 // Experiments are a typed API: each internal/experiments generator takes
 // an Options (scale factor, concurrency levels, injectable

@@ -46,6 +46,11 @@ type Options struct {
 	// engine figures (3-5, 7-9). 0 or 1 = single engine; results are
 	// byte-identical at every setting (TestPartitionedMatchesSerial).
 	EnginePartitions int
+	// HTAPRates lists the cluster-wide update-stream rates, in rows per
+	// virtual second, that the htap1 sweep runs (default 0, 2M, 8M,
+	// 16M). Rate 0 is the read-only baseline every htap series is
+	// normalized against and must be present.
+	HTAPRates []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +62,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Joins == nil {
 		o.Joins = pstore.Engine{}
+	}
+	if len(o.HTAPRates) == 0 {
+		o.HTAPRates = []float64{0, 2e6, 8e6, 16e6}
 	}
 	return o
 }

@@ -133,6 +133,12 @@ func (c *dimFilterCursor) RowHint() (int64, bool) {
 	return int64(est), true
 }
 
+// Close terminates the chain, closing the underlying probe cursor.
+func (c *dimFilterCursor) Close() {
+	c.in.Close()
+	c.filters = nil
+}
+
 // apply filters one batch through every dimension semijoin, charging the
 // node's CPU for the evaluation work, and returns the surviving rows.
 func (c *dimFilterCursor) apply(b storage.Batch) storage.Batch {

@@ -89,13 +89,25 @@ type queueCursor struct {
 	q      *sim.Queue[storage.Batch]
 	hint   int64
 	hintOK bool
+	closed bool
 }
 
 var _ storage.Cursor = (*queueCursor)(nil)
 
-func (c *queueCursor) Next() (storage.Batch, bool) { return c.q.Get(c.p) }
+func (c *queueCursor) Next() (storage.Batch, bool) {
+	if c.closed {
+		return storage.Batch{}, false
+	}
+	return c.q.Get(c.p)
+}
 
 func (c *queueCursor) RowHint() (int64, bool) { return c.hint, c.hintOK }
+
+// Close stops consuming. The queue is deliberately NOT drained: the
+// producing scan parks on the bounded queue's backpressure and stops
+// booking simulated resources — early termination propagates upstream
+// as a stall, exactly like a real exchange whose consumer went away.
+func (c *queueCursor) Close() { c.closed = true }
 
 // mailboxCursor drains a node mailbox as a cursor, preserving the
 // vectorized consumption pattern: batches are received in groups of up
@@ -117,6 +129,9 @@ var _ storage.Cursor = (*mailboxCursor)(nil)
 
 func (c *mailboxCursor) Next() (storage.Batch, bool) {
 	for c.i >= len(c.buf) {
+		if c.mb == nil {
+			return storage.Batch{}, false
+		}
 		batches, ok := c.mb.RecvManyInto(c.p, c.buf[:0], 64)
 		if !ok {
 			return storage.Batch{}, false
@@ -134,6 +149,16 @@ func (c *mailboxCursor) Next() (storage.Batch, bool) {
 }
 
 func (c *mailboxCursor) RowHint() (int64, bool) { return c.hint, c.ok }
+
+// Close stops consuming; buffered and in-flight batches are dropped.
+// Abnormal termination only: the mailbox's EOS protocol is not run
+// down, so a join whose consumer closes early must not be waited on
+// for completion.
+func (c *mailboxCursor) Close() {
+	c.buf = nil
+	c.i = 0
+	c.mb = nil
+}
 
 // Handle tracks one in-flight join query.
 type Handle struct {
@@ -204,6 +229,24 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	// Expected qualified build rows per hash-table owner: the optimizer
 	// estimate carried to each owner's build cursor for pre-sizing.
 	hint := hashOwnerRowHint(spec, len(buildNodes))
+	// Admission: the hint pre-sizes each owner's Int64Table (two
+	// power-of-two int64 arrays), pinning that allocation before the
+	// first row arrives. Check the RESERVED bytes — plus whatever the
+	// write path's unmerged delta tails already hold on the node —
+	// against node memory now, so an over-reserved table fails at plan
+	// time instead of after the build has run (finalize still checks
+	// the realized table as a backstop).
+	if e.cfg.CheckMemory {
+		reserved := storage.Int64TableReservedBytes(hint)
+		for _, b := range buildNodes {
+			memBytes := e.C.Nodes[b].Spec.MemoryMB * 1e6
+			tail := e.deltas.NodeTailBytes(b)
+			if reserved+tail > memBytes {
+				return nil, fmt.Errorf("pstore: node %d hash-table reservation (%.0f MB for %d hinted build rows) plus delta tail (%.0f MB) exceeds memory (%.0f MB); admission failed before build",
+					b, reserved/1e6, hint, tail/1e6, memBytes/1e6)
+			}
+		}
+	}
 	for _, b := range buildNodes {
 		h.tables[b] = &hashTable{}
 		var f float64
@@ -453,7 +496,7 @@ func (h *Handle) finalize(end sim.Time) {
 			r.MaxHashTableBytes = ht.bytes
 		}
 		if e.cfg.CheckMemory {
-			memBytes := e.C.Nodes[b].Spec.MemoryMB * 1e6
+			memBytes := e.C.Nodes[b].Spec.MemoryMB*1e6 - e.deltas.NodeTailBytes(b)
 			if ht.bytes > memBytes {
 				h.Err = fmt.Errorf("pstore: hash table on node %d (%.0f MB) exceeds memory (%.0f MB); P-store has no 2-pass join",
 					b, ht.bytes/1e6, memBytes/1e6)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/delta"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 )
@@ -171,8 +172,9 @@ type JoinResult struct {
 
 // Exec binds the engine to a cluster.
 type Exec struct {
-	C   *cluster.Cluster
-	cfg Config
+	C      *cluster.Cluster
+	cfg    Config
+	deltas *delta.Set
 }
 
 // New creates an engine instance on the given cluster.
@@ -182,6 +184,20 @@ func New(c *cluster.Cluster, cfg Config) *Exec {
 
 // Config returns the effective (defaulted) configuration.
 func (e *Exec) Config() Config { return e.cfg }
+
+// AttachDeltas routes this engine's scans through the delta stores'
+// merged views: a scan of a (table, node) with a registered store reads
+// base blocks with the unmerged overlay applied instead of the raw
+// partition, and the planner's memory admission counts the stores'
+// unmerged tails against node budgets. Deltas attach to the Exec
+// instance, NOT to Config, deliberately: the store set is live mutable
+// state and must never leak into the join cache's content fingerprint.
+func (e *Exec) AttachDeltas(ds *delta.Set) { e.deltas = ds }
+
+// deltaFor returns the attached store for (table, node), or nil.
+func (e *Exec) deltaFor(t tpch.Table, node int) *delta.Store {
+	return e.deltas.For(t, node) // nil-receiver safe
+}
 
 // selColIndex returns the selectivity column index for materialized
 // batches of the given table.

@@ -44,8 +44,10 @@ type scanCursor struct {
 	idx []int   // materialized row-index scratch, reused across blocks
 
 	warm     bool
-	cur      storage.BatchCursor       // warm path: direct block reads
+	cur      storage.Cursor            // warm path: direct block reads
 	prefetch *sim.Queue[storage.Batch] // cold path: disk-pump output
+	stop     bool                      // cold path: tells the pump to exit
+	closed   bool
 	hint     int64
 }
 
@@ -55,29 +57,46 @@ var _ storage.Cursor = (*scanCursor)(nil)
 // calling process owns the cursor: Next blocks it on the simulated
 // resources. Cold scans additionally spawn the disk-pump process here,
 // so construction must happen at the operator's start position.
+//
+// When the engine has a delta store attached for (table, node), the
+// block source is the store's merged view — base blocks with the
+// unmerged overlay applied — and the cardinality hint uses the store's
+// visible row count instead of the raw partition's.
 func (e *Exec) scan(p *sim.Proc, node *cluster.Node, part *storage.Partition, sel float64) *scanCursor {
+	rows := part.Rows
+	var src storage.Cursor
+	if st := e.deltaFor(part.Def.Table, node.ID); st != nil {
+		rows = st.VisibleRows()
+		src = st.MergedCursor(e.cfg.BatchRows)
+	} else {
+		bc := part.Cursor(e.cfg.BatchRows)
+		src = &bc
+	}
 	c := &scanCursor{
 		p: p, node: node, sel: sel,
 		thr:    tpch.SelThreshold(sel),
 		selIdx: selColIndex(part.Def.Table),
 		warm:   e.cfg.WarmCache,
-		hint:   int64(float64(part.Rows) * sel),
+		hint:   int64(float64(rows) * sel),
 	}
 	if c.warm {
-		c.cur = part.Cursor(e.cfg.BatchRows)
+		c.cur = src
 		return c
 	}
 	c.prefetch = sim.NewQueue[storage.Batch](fmt.Sprintf("n%d.prefetch", node.ID), 4)
 	p.Engine().Go(fmt.Sprintf("n%d.diskpump", node.ID), func(dp *sim.Proc) {
-		pump := part.Cursor(e.cfg.BatchRows)
-		for {
-			b, ok := pump.Next()
+		for !c.stop {
+			b, ok := src.Next()
 			if !ok {
 				break
 			}
 			node.Disk.Process(dp, b.Bytes())
+			if c.stop {
+				break
+			}
 			c.prefetch.Put(dp, b)
 		}
+		src.Close()
 		c.prefetch.Close()
 	})
 	return c
@@ -86,10 +105,10 @@ func (e *Exec) scan(p *sim.Proc, node *cluster.Node, part *storage.Partition, se
 // Next yields the next non-empty filtered batch; ok=false when the
 // partition is exhausted.
 func (c *scanCursor) Next() (storage.Batch, bool) {
-	for {
+	for !c.closed {
 		b, ok := c.read()
 		if !ok {
-			return storage.Batch{}, false
+			break
 		}
 		// CPU cost of scan+select+project: raw bytes through the pipeline.
 		c.node.CPU.Process(c.p, b.Bytes())
@@ -98,10 +117,34 @@ func (c *scanCursor) Next() (storage.Batch, bool) {
 			return out, true
 		}
 	}
+	return storage.Batch{}, false
 }
 
 // RowHint returns the expected qualified row count (rows x selectivity).
 func (c *scanCursor) RowHint() (int64, bool) { return c.hint, true }
+
+// Close terminates the scan early. Warm scans close the block source;
+// cold scans flag the disk pump to exit and drain the prefetch queue so
+// a pump parked on the full queue wakes, observes the flag and shuts
+// the pipeline down — no further disk or CPU time is booked for blocks
+// nobody will read. (The drain may leave the pump one in-flight block
+// of grace; it is never delivered.)
+func (c *scanCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.warm {
+		c.cur.Close()
+		return
+	}
+	c.stop = true
+	for {
+		if _, ok := c.prefetch.TryGet(); !ok {
+			break
+		}
+	}
+}
 
 // read pulls the next raw block: straight from the partition cursor when
 // warm, from the disk prefetch queue when cold.

@@ -1,0 +1,25 @@
+package sim
+
+// Periodic spawns a process that invokes fn every period seconds of
+// virtual time until fn returns false. The next tick is scheduled
+// period after fn RETURNS (fixed-delay, not fixed-rate): when fn blocks
+// on simulated resources — a rate server booking, a backpressured queue
+// — the interval stretches by that service time, which is exactly the
+// admission-throttling behavior a real periodic worker contending for
+// shared hardware exhibits.
+//
+// Background maintenance work (the delta store's merge scheduler) and
+// controlled-rate generators (the HTAP update front-ends) are both built
+// on this: the first does cheap policy checks where the stretch is
+// negligible, the second relies on it to degrade gracefully when the
+// fabric saturates.
+func Periodic(e *Engine, name string, period float64, fn func(p *Proc) bool) *Proc {
+	return e.Go(name, func(p *Proc) {
+		for {
+			p.Hold(period)
+			if !fn(p) {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Periodic ticks at fixed delay until fn returns false, then the engine
+// drains.
+func TestPeriodicTicksUntilStopped(t *testing.T) {
+	e := New()
+	var at []Time
+	Periodic(e, "tick", 2, func(p *Proc) bool {
+		at = append(at, p.Now())
+		return len(at) < 3
+	})
+	e.Run()
+	if want := []Time{2, 4, 6}; !reflect.DeepEqual(at, want) {
+		t.Fatalf("tick times %v, want %v", at, want)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("engine drained at %v, want 6", e.Now())
+	}
+}
+
+// Fixed-delay semantics: time fn spends blocked (here an explicit Hold
+// standing in for a rate-server booking) stretches the interval instead
+// of being absorbed — the next tick is period after fn RETURNS.
+func TestPeriodicFixedDelayStretches(t *testing.T) {
+	e := New()
+	var at []Time
+	Periodic(e, "slow", 2, func(p *Proc) bool {
+		at = append(at, p.Now())
+		p.Hold(3) // service time inside the tick
+		return len(at) < 3
+	})
+	e.Run()
+	// Ticks at 2, then 2+3+2=7, then 7+3+2=12 — not 2,4,6.
+	if want := []Time{2, 7, 12}; !reflect.DeepEqual(at, want) {
+		t.Fatalf("tick times %v, want %v", at, want)
+	}
+}

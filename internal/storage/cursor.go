@@ -22,6 +22,14 @@ type Cursor interface {
 	// estimate is for pre-sizing only and carries no exactness
 	// guarantee.
 	RowHint() (rows int64, ok bool)
+	// Close terminates the stream early: every subsequent Next returns
+	// ok=false and any upstream work feeding this cursor stops being
+	// charged to the simulation (a cold scan's disk pump exits, a
+	// combinator closes its inputs). Close after exhaustion is a no-op;
+	// closing an already-closed cursor is safe. LIMIT-style consumers
+	// and aborted delta merges use this so a partially-read plan does
+	// not drain its scans to the end.
+	Close()
 }
 
 // BatchCursor streams a partition's blocks one at a time — the leaf
@@ -72,3 +80,10 @@ func (c *BatchCursor) Next() (b Batch, ok bool) {
 // RowHint returns the partition's exact row count (a leaf scan knows its
 // cardinality precisely).
 func (c *BatchCursor) RowHint() (int64, bool) { return c.hint, true }
+
+// Close drops the remaining blocks; subsequent Next returns ok=false.
+func (c *BatchCursor) Close() {
+	c.batches = nil
+	c.i = 0
+	c.left = 0
+}

@@ -111,3 +111,31 @@ func TestCursorMatchesBatches(t *testing.T) {
 		}
 	}
 }
+
+// Close makes a BatchCursor report exhaustion immediately — mid-stream,
+// repeatedly, and for both representations.
+func TestBatchCursorClose(t *testing.T) {
+	phantom := &Partition{Def: liDef(1000, false), Rows: 10_000}
+	c := phantom.Cursor(1024)
+	if _, ok := c.Next(); !ok {
+		t.Fatal("first phantom block missing")
+	}
+	c.Close()
+	if _, ok := c.Next(); ok {
+		t.Fatal("closed phantom cursor yielded a batch")
+	}
+	c.Close() // idempotent
+
+	matParts, err := PartitionTable(liDef(0.001, true), 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := matParts[0].Cursor(512)
+	if _, ok := mc.Next(); !ok {
+		t.Fatal("first materialized block missing")
+	}
+	mc.Close()
+	if _, ok := mc.Next(); ok {
+		t.Fatal("closed materialized cursor yielded a batch")
+	}
+}

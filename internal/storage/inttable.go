@@ -47,6 +47,25 @@ func (t *Int64Table) Reserve(n int) {
 	}
 }
 
+// Bytes returns the table's current allocation: two int64 arrays of the
+// backing capacity. This is what Reserve actually pins, as opposed to
+// the logical payload (entries x row width) — the planner's memory check
+// admits against this number so an over-reserved table is rejected
+// before any row arrives.
+func (t *Int64Table) Bytes() float64 { return float64(len(t.keys)) * 16 }
+
+// Int64TableReservedBytes returns the bytes NewInt64Table(hint) (or
+// Reserve(hint) on a fresh table) would pin, without allocating:
+// the power-of-two capacity that keeps hint entries under the 3/4
+// load-factor bound, times 16 bytes per slot.
+func Int64TableReservedBytes(hint int) float64 {
+	capacity := 16
+	for capacity*3/4 < hint {
+		capacity *= 2
+	}
+	return float64(capacity) * 16
+}
+
 // Len returns the number of distinct keys stored.
 func (t *Int64Table) Len() int {
 	if t.hasZero {

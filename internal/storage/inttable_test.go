@@ -136,3 +136,22 @@ func TestInt64TableReserve(t *testing.T) {
 		t.Fatalf("Reserve(10) changed capacity %d -> %d", capAfter, len(tbl.keys))
 	}
 }
+
+// TestInt64TableReservedBytes: the planner's paper reservation must
+// equal the bytes a table presized for the same hint actually occupies —
+// the admission check and the runtime structure cannot disagree.
+func TestInt64TableReservedBytes(t *testing.T) {
+	for _, hint := range []int{0, 1, 12, 13, 1000, 1 << 20, 3_000_000} {
+		want := NewInt64Table(hint).Bytes()
+		if got := Int64TableReservedBytes(hint); got != want {
+			t.Fatalf("Int64TableReservedBytes(%d) = %.0f, NewInt64Table(%d).Bytes() = %.0f",
+				hint, got, hint, want)
+		}
+	}
+	// Reserve on an empty table lands on the same footprint.
+	tbl := NewInt64Table(0)
+	tbl.Reserve(50_000)
+	if got, want := tbl.Bytes(), Int64TableReservedBytes(50_000); got != want {
+		t.Fatalf("Reserve(50000) footprint %.0f, reservation says %.0f", got, want)
+	}
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/delta"
+	"repro/internal/pstore"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// HTAPSpec describes one mixed HTAP run: a controlled-rate transactional
+// update stream against LINEITEM contending with a sequence of the
+// paper's Q3 analytic joins on the same simulated cluster.
+//
+// Write-path routing: every node runs an ingest front-end that accepts
+// its share of the cluster-wide update rate and routes each batch to the
+// partition owner round-robin — so (n-1)/n of the write bytes cross the
+// fabric (egress + ingress charged like any exchange), each owner's
+// applier charges apply CPU into its delta store, and the background
+// merge rewrites charge the owner too. Analytics interference therefore
+// arrives through all three channels the paper's read-only figures hold
+// idle: NIC, write-path CPU and merge CPU.
+type HTAPSpec struct {
+	// SF is the TPC-H scale factor of the analytic tables.
+	SF tpch.ScaleFactor
+	// Queries is the number of back-to-back Q3 joins the analytics
+	// driver issues (default 3). Queries run sequentially, so analytics
+	// throughput is Queries / makespan.
+	Queries int
+	// BuildSel and ProbeSel are the Q3 selectivities (default 0.05).
+	BuildSel, ProbeSel float64
+	// Method is the join strategy (default DualShuffle — the
+	// network-heavy plan, where write traffic interference bites).
+	Method pstore.JoinMethod
+	// UpdateRowsPerSec is the cluster-wide target ingest rate in rows
+	// per virtual second; 0 runs the analytics read-only (the baseline
+	// every htap series is normalized against).
+	UpdateRowsPerSec float64
+	// UpdateBatchRows is the rows per transactional batch (default
+	// 50000 — 1 MB of 20-byte tuples, one "transaction" for energy
+	// accounting).
+	UpdateBatchRows int
+	// Delta configures the per-node delta stores (zero = defaults).
+	Delta delta.Config
+}
+
+func (s HTAPSpec) withDefaults() HTAPSpec {
+	if s.Queries <= 0 {
+		s.Queries = 3
+	}
+	if s.BuildSel == 0 {
+		s.BuildSel = 0.05
+	}
+	if s.ProbeSel == 0 {
+		s.ProbeSel = 0.05
+	}
+	if s.UpdateBatchRows <= 0 {
+		s.UpdateBatchRows = 50_000
+	}
+	return s
+}
+
+// opMix is the deterministic per-node operation cycle the appliers walk:
+// mostly inserts, some updates, the odd delete — enough churn that both
+// shadowing and tail growth are exercised at every rate.
+var opMix = [10]delta.Op{
+	delta.OpInsert, delta.OpInsert, delta.OpInsert, delta.OpUpsert,
+	delta.OpInsert, delta.OpUpsert, delta.OpInsert, delta.OpUpsert,
+	delta.OpInsert, delta.OpDelete,
+}
+
+// HTAPResult reports one mixed run.
+type HTAPResult struct {
+	// Makespan is the virtual time at which the last analytic query
+	// completed (the update stream drains shortly after and is not
+	// counted in throughput).
+	Makespan float64
+	// QuerySeconds are the per-query response times, in issue order.
+	QuerySeconds []float64
+	// Txns and TxnRows count the applied update batches and rows.
+	Txns, TxnRows int64
+	// Merges counts completed delta-merge cycles across all stores.
+	Merges int
+	// Joules is the cluster's total energy over the whole run,
+	// including the write path and the post-makespan drain window
+	// (bounded by one merge-scheduler tick).
+	Joules float64
+}
+
+// QueriesPerSec is the analytics throughput: queries per virtual second
+// of makespan.
+func (r HTAPResult) QueriesPerSec() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.QuerySeconds)) / r.Makespan
+}
+
+// JoulesPerQuery divides the run's total energy evenly across the
+// analytic queries — the "energy per query" a mixed deployment actually
+// pays, write path included.
+func (r HTAPResult) JoulesPerQuery() float64 {
+	if len(r.QuerySeconds) == 0 {
+		return 0
+	}
+	return r.Joules / float64(len(r.QuerySeconds))
+}
+
+// JoulesPerTxn divides the run's total energy across the applied update
+// batches; 0 when the run was read-only.
+func (r HTAPResult) JoulesPerTxn() float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return r.Joules / float64(r.Txns)
+}
+
+// RunHTAP executes one mixed HTAP run on the cluster: per-node delta
+// stores over the LINEITEM partitions (with merge schedulers), per-node
+// ingest front-ends + appliers pumping the update stream through the
+// fabric, and an analytics driver issuing spec.Queries sequential Q3
+// joins whose scans read the stores' merged views. Returns after the
+// simulation drains; the result carries timing, write-path counters and
+// total energy.
+//
+// The update stream is phantom (count-accounted, like every paper-scale
+// table); the analytic tables must be phantom too.
+func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, error) {
+	spec = spec.withDefaults()
+	join := Q3Join(spec.SF, spec.BuildSel, spec.ProbeSel, spec.Method)
+	n := len(c.Nodes)
+
+	e := pstore.New(c, cfg)
+	probeParts, err := storage.PartitionTable(join.Probe, n, e.Config().BatchRows)
+	if err != nil {
+		return HTAPResult{}, err
+	}
+	stores := make([]*delta.Store, n)
+	set := delta.NewSet()
+	for i, nd := range c.Nodes {
+		st, serr := delta.NewStore(probeParts[i], i, nd.CPU, spec.Delta)
+		if serr != nil {
+			return HTAPResult{}, serr
+		}
+		stores[i] = st
+		set.Attach(join.Probe.Table, i, st)
+	}
+	e.AttachDeltas(set)
+	for i, st := range stores {
+		st.StartMerger(c.EngineFor(i))
+	}
+
+	// stopped is written by the analytics driver and read by the ingest
+	// front-ends; the partition group executes serially in lockstep, so
+	// a plain bool is deterministic (the same pattern the join handles
+	// use for their shared counters).
+	var stopped bool
+
+	if spec.UpdateRowsPerSec > 0 {
+		interval := float64(spec.UpdateBatchRows) / (spec.UpdateRowsPerSec / float64(n))
+		applyMB := make([]*cluster.Mailbox, n)
+		for i := 0; i < n; i++ {
+			applyMB[i] = cluster.NewMailbox(fmt.Sprintf("htap.ingest.%d", i), n, e.Config().MailboxCap)
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			st := stores[i]
+			c.EngineFor(i).Go(fmt.Sprintf("htap.apply.%d", i), func(p *sim.Proc) {
+				seq := 0
+				for {
+					b, ok := applyMB[i].Recv(p)
+					if !ok {
+						return
+					}
+					op := opMix[seq%len(opMix)]
+					seq++
+					if aerr := st.Apply(p, delta.Write{Op: op, Rows: b.Rows}); aerr != nil {
+						panic(aerr) // phantom writes carry no keys; unreachable
+					}
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			rr := i // stagger the round-robin start across front-ends
+			sim.Periodic(c.EngineFor(i), fmt.Sprintf("htap.ingest.%d", i), interval, func(p *sim.Proc) bool {
+				if stopped {
+					for dst := 0; dst < n; dst++ {
+						c.Send(p, cluster.Message{From: i, To: dst, EOS: true, Dest: applyMB[dst]})
+					}
+					return false
+				}
+				dst := rr % n
+				rr++
+				c.Send(p, cluster.Message{
+					From: i, To: dst,
+					Batch: storage.Batch{Rows: spec.UpdateBatchRows, Width: join.Probe.Width},
+					Dest:  applyMB[dst],
+				})
+				return true
+			})
+		}
+	}
+
+	// Analytics driver: sequential Q3 joins; each scan reads the merged
+	// views, so every query sees all writes applied before its scans.
+	res := HTAPResult{}
+	var launchErr error
+	c.EngineFor(0).Go("htap.driver", func(p *sim.Proc) {
+		for q := 0; q < spec.Queries; q++ {
+			h, lerr := e.LaunchJoin(fmt.Sprintf("htap.q%d", q), join)
+			if lerr != nil {
+				launchErr = lerr
+				break
+			}
+			h.Done.Wait(p)
+			if h.Err != nil {
+				launchErr = h.Err
+				break
+			}
+			res.QuerySeconds = append(res.QuerySeconds, h.Result.Seconds)
+		}
+		res.Makespan = p.Now()
+		stopped = true
+		for _, st := range stores {
+			st.Stop()
+		}
+		if launchErr != nil {
+			c.Eng.Halt()
+		}
+	})
+
+	c.Run()
+	if launchErr != nil {
+		return HTAPResult{}, launchErr
+	}
+	if len(res.QuerySeconds) != spec.Queries {
+		return HTAPResult{}, fmt.Errorf("workload: %d of %d htap queries completed (deadlock?)",
+			len(res.QuerySeconds), spec.Queries)
+	}
+	c.StopMeters()
+	res.Joules = c.TotalJoules()
+	for _, st := range stores {
+		s := st.Stats()
+		res.Txns += s.Txns
+		res.TxnRows += s.Rows
+		res.Merges += s.Merges
+	}
+	return res, nil
+}

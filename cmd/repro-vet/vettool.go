@@ -1,0 +1,124 @@
+package main
+
+// The `go vet -vettool` protocol, as implemented by
+// golang.org/x/tools/go/analysis/unitchecker (reimplemented here on the
+// stdlib because the repo vendors no third-party modules). The go
+// command probes the tool three ways:
+//
+//   - `tool -V=full`: print an identification line for the build cache;
+//   - `tool -flags`: print a JSON description of supported flags;
+//   - `tool <file>.cfg`: analyze one package described by a JSON config
+//     (file set, import map, export-data files), writing an empty facts
+//     file to VetxOutput and reporting diagnostics on stderr with a
+//     nonzero exit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// vetConfig is the package description `go vet` writes for each unit;
+// field names match cmd/go's vet.cfg schema.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettoolMain handles a go-vet-protocol invocation; it returns false
+// when the arguments are a normal standalone run.
+func vettoolMain() bool {
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("repro-vet version devel buildID=repro-vet/repro-vet\n")
+		return true
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return true
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		if err := runUnit(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "repro-vet:", err)
+			os.Exit(1)
+		}
+		return true
+	}
+	return false
+}
+
+func runUnit(cfgPath string) error {
+	buf, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(buf, &cfg); err != nil {
+		return fmt.Errorf("decoding %s: %v", cfgPath, err)
+	}
+	// The suite carries no cross-package facts, but go vet expects the
+	// facts file regardless.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	imp := vetImporter(fset, cfg)
+	pkg, err := load.Check(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return err
+	}
+	diags, err := lint.Run(lint.All(), []*load.Package{pkg})
+	if err != nil {
+		return err
+	}
+	if len(diags) == 0 {
+		return nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	os.Exit(1)
+	return nil
+}
+
+// vetImporter resolves imports through the config's vendor/import map
+// and per-package export-data files.
+func vetImporter(fset *token.FileSet, cfg vetConfig) types.Importer {
+	exports := map[string]string{}
+	for path, mapped := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[mapped]; ok {
+			exports[path] = f
+		}
+	}
+	for path, f := range cfg.PackageFile {
+		if _, ok := exports[path]; !ok {
+			exports[path] = f
+		}
+	}
+	return load.ExportImporter(fset, exports)
+}

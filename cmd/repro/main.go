@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -103,6 +104,14 @@ func main() {
 	if *batchRows < 0 {
 		fmt.Fprintf(os.Stderr, "repro: -batch-rows must be >= 0 (0 = default), got %d\n", *batchRows)
 		os.Exit(2)
+	}
+	// Catch a directory -bench-o up front: the snapshot is written after
+	// the run, and a bad path must not waste an hours-long session.
+	if *benchPath != "" {
+		if fi, err := os.Stat(*benchPath); err == nil && fi.IsDir() {
+			fmt.Fprintf(os.Stderr, "repro: -bench-o %s is a directory, want a snapshot file path (e.g. %s)\n", *benchPath, filepath.Join(*benchPath, "BENCH_2026-01-01.json"))
+			os.Exit(2)
+		}
 	}
 	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions, BatchRows: *batchRows}
 	if *conc != "" {

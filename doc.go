@@ -56,6 +56,17 @@
 // turn BENCH snapshots into CI's perf regression gate
 // (README "The CI perf gate").
 //
+// The determinism and resource invariants are machine-checked:
+// cmd/repro-vet (internal/lint) is a stdlib-only go/analysis-style
+// suite — nodeterm (no wall clocks, global rand, env reads or bare
+// goroutines in simulated code), maporder (no map-iteration order in
+// output), fingerprint (join-cache keys fingerprint by content) and
+// cursorclose (scan cursors are closed or handed off). It runs
+// standalone (`go run ./cmd/repro-vet ./...`) or as a
+// `go vet -vettool`, and CI's analysis job keeps the tree at zero
+// findings; suppressions require a written justification
+// (README "Static analysis").
+//
 // Start with README.md for the tour and system inventory, and
 // EXPERIMENTS.md for the generated paper-vs-measured record (regenerate
 // with `go run ./cmd/repro -exp all -md -o EXPERIMENTS.md`; `-json`

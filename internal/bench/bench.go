@@ -51,6 +51,9 @@ type Experiment struct {
 
 // Load reads and decodes a snapshot file.
 func Load(path string) (Snapshot, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return Snapshot{}, fmt.Errorf("bench: %s is a directory, want a BENCH_<date>.json snapshot file", path)
+	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return Snapshot{}, err
@@ -67,6 +70,9 @@ func Load(path string) (Snapshot, error) {
 // must pick another path (or pass force), so a committed baseline or an
 // earlier same-date snapshot survives a careless re-run.
 func (s Snapshot) WriteFile(path string, overwrite bool) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("bench: %s is a directory; point -bench-o at a file path for the snapshot", path)
+	}
 	if !overwrite {
 		if _, err := os.Stat(path); err == nil {
 			return fmt.Errorf("bench: %s already exists; write to another path (-bench-o) or force the overwrite (-bench-force)", path)

@@ -136,3 +136,24 @@ func TestWriteRefusesOverwrite(t *testing.T) {
 		t.Fatalf("roundtrip mismatch: %+v", loaded)
 	}
 }
+
+// A directory handed to Load or WriteFile (a mistyped -bench-o, or a
+// benchdiff arg pointing at the repo root) must fail with an error that
+// names the path and says it is a directory, not a raw EISDIR.
+func TestDirectoryPathRejected(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "is a directory") {
+		t.Fatalf("Load(dir): got %v, want an explicit is-a-directory error", err)
+	}
+
+	err := snap(1, 1, 1).WriteFile(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "is a directory") {
+		t.Fatalf("WriteFile(dir): got %v, want an explicit is-a-directory error", err)
+	}
+	// force must not bypass the directory check either
+	err = snap(1, 1, 1).WriteFile(dir, true)
+	if err == nil || !strings.Contains(err.Error(), "is a directory") {
+		t.Fatalf("WriteFile(dir, force): got %v, want an explicit is-a-directory error", err)
+	}
+}

@@ -24,6 +24,7 @@ package delta
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -348,30 +349,49 @@ func (ds *Set) For(t tpch.Table, node int) *Store {
 	return ds.stores[setKey{t, node}]
 }
 
+// sortedKeys returns the registration keys in (table, node) order, so
+// every aggregation over the set is independent of map iteration order.
+func (ds *Set) sortedKeys() []setKey {
+	keys := make([]setKey, 0, len(ds.stores))
+	for k := range ds.stores {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].table != keys[j].table {
+			return keys[i].table < keys[j].table
+		}
+		return keys[i].node < keys[j].node
+	})
+	return keys
+}
+
 // NodeTailBytes sums the unmerged tail bytes of every store owned by
-// the node — the write path's claim on that node's memory.
+// the node — the write path's claim on that node's memory. Stores are
+// summed in (table, node) key order: float addition is not
+// associative, so a map-order sum could differ between two runs and
+// flip a borderline admission decision.
 func (ds *Set) NodeTailBytes(node int) float64 {
 	if ds == nil {
 		return 0
 	}
 	var b float64
-	for k, s := range ds.stores {
+	for _, k := range ds.sortedKeys() {
 		if k.node == node {
-			b += s.TailBytes()
+			b += ds.stores[k].TailBytes()
 		}
 	}
 	return b
 }
 
-// Stores returns every registered store (iteration order unspecified —
-// callers aggregating must not depend on it for determinism).
+// Stores returns every registered store in (table, node) key order, so
+// callers folding over the set observe a deterministic sequence.
 func (ds *Set) Stores() []*Store {
 	if ds == nil {
 		return nil
 	}
 	out := make([]*Store, 0, len(ds.stores))
-	for _, s := range ds.stores {
-		out = append(out, s)
+	for _, k := range ds.sortedKeys() {
+		out = append(out, ds.stores[k])
 	}
 	return out
 }

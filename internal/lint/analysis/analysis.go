@@ -1,0 +1,167 @@
+// Package analysis is a self-contained, stdlib-only skeleton of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// typechecked package at a time and reports position-anchored
+// diagnostics. The repo vendors no third-party modules (builds must
+// work fully offline), so repro-vet carries this ~small subset instead
+// of the real framework; Analyzer and Pass keep the upstream field
+// names so the analyzers port to x/tools mechanically if the dependency
+// ever becomes available.
+//
+// Beyond the x/tools subset, the package implements the repo's
+// suppression convention: a comment
+//
+//	//lint:<directive> <justification>
+//
+// on the flagged line, or on the line immediately above it, suppresses
+// that analyzer's findings there. The justification is mandatory: a
+// bare //lint:<directive> with no trailing reason does not suppress
+// anything and is itself reported as a diagnostic, so silencing a
+// finding always leaves a reviewable sentence behind.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check run over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by repro-vet -help.
+	Doc string
+	// Directive is the suppression word: //lint:<Directive> <reason>
+	// suppresses this analyzer's findings on the annotated line and the
+	// line below it. Empty means the analyzer cannot be suppressed.
+	Directive string
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a position in the package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass carries one analyzer's view of one package: the syntax trees,
+// the type information, and the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	directives []directive
+}
+
+// directive is one parsed //lint:<word> comment.
+type directive struct {
+	word   string
+	reason string
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+// NewPass assembles a Pass for one analyzer over one loaded package and
+// parses its suppression directives.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				word, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				p.directives = append(p.directives, directive{
+					word:   word,
+					reason: strings.TrimSpace(reason),
+					file:   pos.Filename,
+					line:   pos.Line,
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos unless a justified suppression
+// directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// suppressed reports whether a justified //lint:<Directive> comment sits
+// on pos's line or the line immediately above. Unjustified directives
+// never suppress — they are surfaced by Finish instead.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.Analyzer.Directive == "" {
+		return false
+	}
+	at := p.Fset.Position(pos)
+	for _, d := range p.directives {
+		if d.word != p.Analyzer.Directive || d.reason == "" || d.file != at.Filename {
+			continue
+		}
+		if d.line == at.Line || d.line == at.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish runs the analyzer and returns its findings plus a diagnostic
+// for every unjustified suppression directive, sorted by position.
+func (p *Pass) Finish() ([]Diagnostic, error) {
+	if err := p.Analyzer.Run(p); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Analyzer.Name, err)
+	}
+	for _, d := range p.directives {
+		if d.word == p.Analyzer.Directive && p.Analyzer.Directive != "" && d.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("//lint:%s suppression requires a justification after the directive word", p.Analyzer.Directive),
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+	}
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags, nil
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, consulting both Defs
+// and Uses.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// PkgNameOf resolves e to the imported package it names, or nil when e
+// is not a package qualifier (e.g. the "time" in time.Now).
+func (p *Pass) PkgNameOf(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.ObjectOf(id).(*types.PkgName)
+	return pn
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// fingerprintRoots are the types whose fmt "%+v" rendering is the join
+// cache's content key (see pstore.fingerprint). Everything reachable
+// from them must render by content: a pointer, channel, func or
+// interface field prints as an address or a lossy dynamic value, so two
+// configs with identical content would fingerprint differently (cache
+// misses) — or worse, different content could collide through a lossy
+// Stringer. This is the exact bug class PR 7 dodged by attaching
+// delta.Set to Exec instead of Config.
+var fingerprintRoots = []string{"Config", "JoinSpec"}
+
+// Fingerprint walks the types reachable from pstore's cache-key roots
+// and flags fields whose kind fmt cannot render by content. A field is
+// exempt when its exact type is listed in the package-level
+// canonicalRenderers slice (meaning the reflective canonicalize path
+// handles it) or carries a //lint:fingerprinted <reason> annotation.
+var Fingerprint = &analysis.Analyzer{
+	Name:      "fingerprint",
+	Directive: "fingerprinted",
+	Doc: "keep join-cache content keys free of address-rendered fields\n\n" +
+		"The pstore join cache keys results by a fmt rendering of Config and\n" +
+		"JoinSpec. Pointer, chan, func and interface fields reachable from those\n" +
+		"types render by address or through lossy Stringers, silently defeating\n" +
+		"content-keying. Register such a type in canonicalRenderers (and route it\n" +
+		"through canonicalize) or annotate the field //lint:fingerprinted.",
+	Run: runFingerprint,
+}
+
+func runFingerprint(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "pstore" {
+		return nil
+	}
+	w := &fingerprintWalker{
+		pass:       pass,
+		registered: registeredRenderers(pass),
+		fieldDecls: localFieldDecls(pass),
+		visited:    map[string]bool{},
+	}
+	for _, root := range fingerprintRoots {
+		obj := pass.Pkg.Scope().Lookup(root)
+		if obj == nil {
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		w.walkStruct(st, root, obj.Pos())
+	}
+	return nil
+}
+
+type fingerprintWalker struct {
+	pass       *analysis.Pass
+	registered map[string]bool
+	fieldDecls map[types.Object]*ast.Field
+	visited    map[string]bool
+}
+
+// registeredRenderers collects the types listed in the package-level
+// canonicalRenderers composite literal: the declared set of
+// fingerprint-unsafe kinds the canonical renderer knows how to key by
+// content.
+func registeredRenderers(pass *analysis.Pass) map[string]bool {
+	reg := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "canonicalRenderers" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, el := range cl.Elts {
+						if t := pass.TypeOf(el); t != nil {
+							reg[t.String()] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// localFieldDecls maps struct-field objects declared in this package to
+// their AST, so diagnostics anchor on the offending field and directive
+// suppression works on its line.
+func localFieldDecls(pass *analysis.Pass) map[types.Object]*ast.Field {
+	m := map[types.Object]*ast.Field{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						m[obj] = fld
+					}
+				}
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// walkStruct visits every field of st. path is the dotted route from
+// the root type; anchor is the position of the nearest enclosing field
+// declared in this package (imported types' fields have no local AST).
+func (w *fingerprintWalker) walkStruct(st *types.Struct, path string, anchor token.Pos) {
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		fpath := path + "." + fld.Name()
+		fanchor := anchor
+		if decl, ok := w.fieldDecls[fld]; ok {
+			fanchor = decl.Pos()
+		}
+		w.walkType(fld.Type(), fpath, fanchor)
+	}
+}
+
+func (w *fingerprintWalker) walkType(t types.Type, path string, anchor token.Pos) {
+	if w.registered[t.String()] {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		w.report(path, anchor, t, "a pointer renders as its address")
+	case *types.Chan:
+		w.report(path, anchor, t, "a channel has no content rendering")
+	case *types.Signature:
+		w.report(path, anchor, t, "a func value has no content rendering")
+	case *types.Interface:
+		w.report(path, anchor, t, "an interface renders through its dynamic value, possibly via a lossy Stringer")
+	case *types.Struct:
+		key := t.String()
+		if w.visited[key] {
+			return
+		}
+		w.visited[key] = true
+		w.walkStruct(u, path, anchor)
+	case *types.Slice:
+		w.walkType(u.Elem(), path+"[]", anchor)
+	case *types.Array:
+		w.walkType(u.Elem(), path+"[]", anchor)
+	case *types.Map:
+		w.walkType(u.Key(), path+"[key]", anchor)
+		w.walkType(u.Elem(), path+"[]", anchor)
+	}
+}
+
+func (w *fingerprintWalker) report(path string, anchor token.Pos, t types.Type, why string) {
+	w.pass.Reportf(anchor, "cache-key field %s (type %s) defeats content fingerprinting: %s; list the type in canonicalRenderers or annotate //lint:fingerprinted <reason>", path, t, why)
+}

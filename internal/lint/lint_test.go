@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/load"
+)
+
+// The fixture packages under testdata/src carry `// want` comments; each
+// analyzer must produce exactly the diagnostics its fixtures expect —
+// no more (false positives) and no fewer (vacuous analyzers).
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Nodeterm, "sim", "other")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Maporder, "maporder")
+}
+
+func TestFingerprint(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Fingerprint, "pstore")
+}
+
+func TestCursorclose(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Cursorclose, "cursor")
+}
+
+// TestTreeIsClean runs the full suite over the real repository tree,
+// the same sweep `go run ./cmd/repro-vet ./...` performs in CI. The
+// repo must stay clean: a regression here is exactly the red gate the
+// CI lint job enforces.
+func TestTreeIsClean(t *testing.T) {
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	diags, err := lint.Run(lint.All(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

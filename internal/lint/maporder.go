@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Maporder flags `range` over a map whose body leaks the iteration
+// order into something ordered — the classic byte-identity killer. A
+// map range is unordered by language spec; the bug pattern is a body
+// that appends to an outer slice, sends on a channel, accumulates
+// floats (addition is not associative), or calls into the DES engine
+// (package sim), so event timestamps or output rows inherit a random
+// permutation. The one recognized safe idiom is collect-then-sort:
+// appending keys to a slice that a later statement in the same block
+// passes to sort.* or slices.*. Anything else needs a sorted key slice
+// first, or a //lint:ordered <reason> annotation.
+var Maporder = &analysis.Analyzer{
+	Name:      "maporder",
+	Directive: "ordered",
+	Doc: "flag map iteration whose order leaks into ordered output\n\n" +
+		"Ranging over a map visits keys in a randomized order. A loop body that\n" +
+		"appends to a slice, sends on a channel, accumulates floating-point sums or\n" +
+		"schedules DES events bakes that order into observable output. Sort the keys\n" +
+		"first (the append-then-sort idiom is recognized) or annotate //lint:ordered.",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		par := parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRange(pass, rng, par)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange scans one map-range body for order-sensitive sinks.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, par map[ast.Node]ast.Node) {
+	declaredOutside := func(id *ast.Ident) bool {
+		obj := pass.ObjectOf(id)
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rng.Pos(), "map iteration order leaks into a channel send; iterate sorted keys or annotate //lint:ordered <reason>")
+			return true
+
+		case *ast.AssignStmt:
+			// Floating-point accumulation: += in map order changes the
+			// sum (float addition is not associative).
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				root := rootIdent(lhs)
+				if root != nil && declaredOutside(root) && isFloat(pass.TypeOf(lhs)) {
+					pass.Reportf(rng.Pos(), "map iteration order changes this floating-point accumulation (%s): float addition is not associative; iterate sorted keys or annotate //lint:ordered <reason>", root.Name)
+				}
+			}
+			return true
+
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltinAppend(pass.ObjectOf(id)) {
+				// Builtin append into something declared outside the loop.
+				root := rootIdent(n.Args[0])
+				if root == nil || !declaredOutside(root) {
+					return true
+				}
+				// Recognized idiom: the slice is sorted right after the
+				// loop (collect-keys-then-sort).
+				if _, isIdent := n.Args[0].(*ast.Ident); isIdent && sortedAfter(pass, rng, root, par) {
+					return true
+				}
+				pass.Reportf(rng.Pos(), "map iteration order leaks into append to %q with no subsequent sort; sort the keys (or the result) or annotate //lint:ordered <reason>", root.Name)
+				return true
+			}
+			// Calls into the DES engine: event timestamps and wakeup
+			// order inherit the map permutation.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "sim" {
+						pass.Reportf(rng.Pos(), "map iteration order schedules DES work (%s.%s) nondeterministically; iterate sorted keys or annotate //lint:ordered <reason>", named.Obj().Name(), sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether a statement after rng in its enclosing
+// block passes slice (by name) to a sort.* or slices.* call.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, slice *ast.Ident, par map[ast.Node]ast.Node) bool {
+	block, ok := par[rng].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	sliceObj := pass.ObjectOf(slice)
+	after := false
+	for _, st := range block.List {
+		if st == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(sel.X)
+			if pn == nil {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			// The slice must appear somewhere in the call (directly or
+			// inside a less-func closure).
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == sliceObj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks to the base identifier of an expression like
+// a.b[i].c, returning nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltinAppend reports whether obj is the predeclared append (and
+// not a shadowing declaration).
+func isBuiltinAppend(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedOf unwraps pointers to reach a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package maporder is the maporder fixture: map-range loops whose
+// bodies leak iteration order, plus the recognized safe idioms.
+package maporder
+
+import (
+	"sort"
+
+	"sim"
+)
+
+// Keys is the recognized collect-then-sort idiom: no diagnostic.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysSortSlice sorts through a closure: still recognized.
+func KeysSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func Leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `append to "keys" with no subsequent sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Send(m map[string]int, ch chan string) {
+	for k := range m { // want `leaks into a channel send`
+		ch <- k
+	}
+}
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `floating-point accumulation \(s\)`
+		s += v
+	}
+	return s
+}
+
+// CountInts is fine: integer accumulation is associative.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func Schedule(m map[string]int, e *sim.Engine) {
+	for k := range m { // want `schedules DES work \(Engine\.Go\)`
+		e.Go(k, nil)
+	}
+}
+
+// RowLike appends through a field selector: no sort can absolve it.
+type table struct{ Rows []string }
+
+func RowLike(m map[string]int, t *table) {
+	for k := range m { // want `append to "t" with no subsequent sort`
+		t.Rows = append(t.Rows, k)
+	}
+}
+
+// Inner is fine: the slice lives and dies inside one iteration.
+func Inner(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k)
+		_ = tmp
+	}
+}
+
+// Justified carries a suppression with a reason: no diagnostic.
+func Justified(m map[string]int, ch chan string) {
+	//lint:ordered fixture: the consumer sorts messages before acting on them
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Bare carries a reasonless suppression: the finding stays and the
+// directive is reported too.
+func Bare(m map[string]int, ch chan string) {
+	//lint:ordered
+	for k := range m { // want `leaks into a channel send` @-1 `requires a justification`
+		ch <- k
+	}
+}

@@ -1,0 +1,15 @@
+// Package other is the nodeterm negative fixture: it is not a
+// simulated-code package, so wall-clock and rand use is fine here (the
+// experiment runner legitimately measures real wall time).
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() int64 { return time.Now().UnixNano() }
+
+func Draw() int { return rand.Intn(10) }
+
+func Spawn(f func()) { go f() }

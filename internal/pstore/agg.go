@@ -59,6 +59,7 @@ func RunAggregate(c *cluster.Cluster, cfg Config, spec AggSpec) (AggResult, floa
 			// already filtered, so the loop only charges the agg work and
 			// accumulates — no intermediate batch list.
 			src := e.scan(p, node, part, spec.Sel)
+			defer src.Close()
 			for {
 				out, ok := src.Next()
 				if !ok {

@@ -336,6 +336,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 				}
 			})
 			src := e.scan(p, node, part, spec.BuildSel)
+			defer src.Close()
 			for {
 				out, ok := src.Next()
 				if !ok {

@@ -56,6 +56,7 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		tok:  make(chan struct{}),
 	}
 	p.wake = func() { p.eng.resumeAt(p.eng.clk.now, p) }
+	//lint:deterministic the handoff token serializes proc goroutines: exactly one runs at a time, so runtime scheduling order can never reorder events
 	e.at(e.clk.now, func() { go p.run(body) }, p)
 	return p
 }

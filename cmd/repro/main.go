@@ -16,6 +16,7 @@
 //	repro -exp all -bench-json -bench-o ci.json   snapshot to a chosen path
 //	repro -exp fig3 -engine-partitions 4   distributed-DES run (same output)
 //	repro -exp htap1 -htap-rates 0,4,32    sweep the HTAP update stream (Mrows/s)
+//	repro -exp fault1 -fault-seed 7        re-seed the fault1/fault2 fault plans
 //	repro -exp fig3 -cpuprofile cpu.prof   capture a pprof CPU profile
 //
 // Experiments run concurrently on a bounded worker pool (one private
@@ -75,6 +76,7 @@ func main() {
 		partitions = flag.Int("engine-partitions", 0, "split each simulated cluster across this many time-synchronized DES engine partitions (0/1 = one engine; output is byte-identical)")
 		batchRows  = flag.Int("batch-rows", 0, "tuples per exchange batch for the engine figures (0 = default 200000; clamped at the engine maximum)")
 		htapRates  = flag.String("htap-rates", "", "comma-separated update-stream rates for htap1, in Mrows/s (default 0,2,8,16; first rate is the normalization baseline)")
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for the fault1/fault2 fault plans (0 = default 1; same seed + cluster = same plan)")
 	)
 	flag.Parse()
 
@@ -113,7 +115,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions, BatchRows: *batchRows}
+	expOpts := experiments.Options{SF: tpch.ScaleFactor(*sf), Shards: *shards, EnginePartitions: *partitions, BatchRows: *batchRows, FaultSeed: *faultSeed}
 	if *conc != "" {
 		for _, f := range strings.Split(*conc, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))

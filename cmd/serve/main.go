@@ -9,6 +9,7 @@
 //	serve -http :8080              serve HTTP instead (POST /, GET /metrics)
 //	serve -workers 8 -queue 64     pool size and queue depth (admission control)
 //	serve -window 30               batch launches on 30 s window boundaries
+//	serve -timeout 5 -retries 2    per-request deadline and retry budget
 //	serve -nodes 8 -warm=false     per-request simulated cluster and engine config
 //
 // Request format (one JSON object per line; every field optional):
@@ -19,8 +20,9 @@
 //
 // Responses are one JSON line each, in completion order, correlated by
 // id: per-request latency and joules, cache hit/miss, and the status
-// admission control assigned ("ok", "shed", or "error" — a shed request
-// is answered, never dropped). A {"kind":"metrics"} line (or GET
+// admission control assigned ("ok", "shed", "deadline", or "error" — a
+// shed or expired request is answered, never dropped; HTTP mode maps
+// shed to 429 and deadline to 504). A {"kind":"metrics"} line (or GET
 // /metrics in HTTP mode) emits the aggregate service metrics; the final
 // aggregate is written to stderr on shutdown (stdin EOF, SIGINT or
 // SIGTERM).
@@ -57,6 +59,8 @@ func main() {
 		warm      = flag.Bool("warm", true, "working set cached (scan at CPU rate)")
 		batchRows = flag.Int("batch-rows", 200_000, "engine exchange batch size in rows")
 		cache     = flag.Bool("cache", true, "answer repeated identical joins from memory")
+		timeout   = flag.Float64("timeout", 0, "per-request deadline in seconds (0 = none); queued requests past it are answered with status \"deadline\", and failed joins never retry past it")
+		retries   = flag.Int("retries", 0, "retry budget per failed join request; retries are shed before fresh work")
 		httpAddr  = flag.String("http", "", "serve HTTP on this address instead of reading stdin")
 	)
 	flag.Parse()
@@ -64,6 +68,12 @@ func main() {
 	switch {
 	case *window < 0 || math.IsNaN(*window) || math.IsInf(*window, 0):
 		fmt.Fprintf(os.Stderr, "serve: -window must be a non-negative, finite number, got %v\n", *window)
+		os.Exit(2)
+	case *timeout < 0 || math.IsNaN(*timeout) || math.IsInf(*timeout, 0):
+		fmt.Fprintf(os.Stderr, "serve: -timeout must be a positive, finite number of seconds (0 = none), got %v\n", *timeout)
+		os.Exit(2)
+	case *retries < 0:
+		fmt.Fprintf(os.Stderr, "serve: -retries must not be negative, got %d\n", *retries)
 		os.Exit(2)
 	case *workers < 1:
 		fmt.Fprintf(os.Stderr, "serve: -workers must be at least 1, got %d\n", *workers)
@@ -80,6 +90,8 @@ func main() {
 		QueueDepth:   *queue,
 		ClusterNodes: *nodes,
 		Engine:       pstore.Config{WarmCache: *warm, BatchRows: *batchRows},
+		Timeout:      *timeout,
+		RetryBudget:  *retries,
 	}
 	if *window > 0 {
 		cfg.Policy = sched.Batched{Window: *window}
@@ -178,6 +190,8 @@ func serveHTTP(s *service.Server, addr string) {
 			w.WriteHeader(http.StatusOK)
 		case "shed":
 			w.WriteHeader(http.StatusTooManyRequests)
+		case "deadline":
+			w.WriteHeader(http.StatusGatewayTimeout)
 		default:
 			w.WriteHeader(http.StatusBadRequest)
 		}

@@ -105,6 +105,30 @@ func TestCompareMissingExperiment(t *testing.T) {
 	}
 }
 
+func TestCompareAddedExperiment(t *testing.T) {
+	base := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 800})
+	fresh := snap(10, 1e6, 0.3, Experiment{ID: "fig3", WallMS: 810}, Experiment{ID: "fault1", WallMS: 5000})
+	c := Compare(base, fresh, 30, 50)
+	if c.Regressed() {
+		t.Fatalf("baseline-less experiment must never gate: %+v", c.Deltas)
+	}
+	if len(c.Added) != 1 || c.Added[0].Metric != "fault1 wall (ms)" || c.Added[0].New != 5000 {
+		t.Fatalf("Added = %+v, want the fresh-only fault1 row", c.Added)
+	}
+	for _, d := range c.Deltas {
+		if strings.HasPrefix(d.Metric, "fault1") {
+			t.Fatalf("fresh-only experiment leaked into the gating deltas: %+v", d)
+		}
+	}
+	md := c.Markdown()
+	if !strings.Contains(md, "Added since the baseline") || !strings.Contains(md, "fault1 wall (ms)") {
+		t.Fatalf("markdown misses the Added section:\n%s", md)
+	}
+	if !strings.Contains(md, "Verdict: ok") {
+		t.Fatalf("added experiments must not flip the verdict:\n%s", md)
+	}
+}
+
 func TestMarkdownVerdict(t *testing.T) {
 	md := Compare(snap(10, 1e6, 0.3), snap(10, 1e6, 0.3), 30, 50).Markdown()
 	if !strings.Contains(md, "Verdict: ok") {

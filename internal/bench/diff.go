@@ -29,6 +29,12 @@ type Comparison struct {
 	// Skipped counts per-experiment rows left out because both sides
 	// ran faster than the noise floor — too small to judge relatively.
 	Skipped int
+	// Added lists experiments present in the fresh snapshot but absent
+	// from the baseline (newly registered since it was recorded). They
+	// are reported so new work is visible — and so re-recording the
+	// baseline isn't forgotten — but they never gate: Added rows are not
+	// in Deltas and cannot regress.
+	Added []Delta
 }
 
 // Regressed reports whether any metric regressed beyond the threshold.
@@ -62,7 +68,9 @@ func regressionPct(base, cur float64, higherIsWorse bool) float64 {
 // metrics are always compared. An experiment that errored in the fresh
 // snapshot, or that exists in the baseline but is absent from the fresh
 // snapshot (unregistered, or dropped by a runner failure), is a
-// regression regardless of timing.
+// regression regardless of timing. The reverse — an experiment present
+// only in the fresh snapshot — is reported under Comparison.Added and
+// never gates.
 func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
 	c := Comparison{ThresholdPct: thresholdPct}
 	add := func(metric string, b, n float64, higherIsWorse bool) {
@@ -94,7 +102,10 @@ func Compare(base, fresh Snapshot, thresholdPct, minWallMS float64) Comparison {
 			continue
 		}
 		if !ok {
-			continue // new experiment: no baseline to regress against
+			// New experiment: no baseline to regress against. Reported
+			// in Added (informational) rather than silently dropped.
+			c.Added = append(c.Added, Delta{Metric: e.ID + " wall (ms)", New: e.WallMS})
+			continue
 		}
 		if b.WallMS < minWallMS && e.WallMS < minWallMS {
 			c.Skipped++
@@ -135,6 +146,14 @@ func (c Comparison) Markdown() string {
 		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %+.1f%% | %s |\n",
 			d.Metric, formatVal(d.Base), formatVal(d.New), d.Pct, status)
+	}
+	if len(c.Added) > 0 {
+		fmt.Fprintf(&b, "\nAdded since the baseline (informational, never gates):\n\n")
+		fmt.Fprintf(&b, "| metric | current |\n")
+		fmt.Fprintf(&b, "|---|---:|\n")
+		for _, d := range c.Added {
+			fmt.Fprintf(&b, "| %s | %s |\n", d.Metric, formatVal(d.New))
+		}
 	}
 	if c.Skipped > 0 {
 		fmt.Fprintf(&b, "\n%d experiment(s) below the noise floor were skipped.\n", c.Skipped)

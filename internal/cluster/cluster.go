@@ -141,6 +141,11 @@ type Node struct {
 	asleep    bool
 	sleepFrom sim.Time
 	sleeps    [][2]sim.Time
+
+	down     bool
+	downFrom sim.Time
+	downs    [][2]sim.Time
+	crashes  int
 }
 
 // IsWimpy reports whether the node is a low-power node.
@@ -199,6 +204,68 @@ func (n *Node) AsleepBetween(a, b sim.Time) float64 {
 	}
 	if n.asleep {
 		overlap(n.sleepFrom, b)
+	}
+	return total
+}
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Crashes counts the Fail transitions the node has taken so far.
+func (n *Node) Crashes() int { return n.crashes }
+
+// Fail crashes the node at the current virtual time: all four rate
+// servers stall until the given restart time (queued work resumes
+// behind the outage; the stall books no busy time, so the meter sees
+// the downtime as idle — the replacement hardware still burns idle
+// power while it provisions). Processes parked on the node's servers
+// are not torn down here: query-level abort is the execution engine's
+// job (pstore Handle.Abort via the fault injector's crash hooks), which
+// reuses the cursor Close paths so no resources leak. Failing an
+// already-down node only extends the outage.
+func (n *Node) Fail(restartAt sim.Time) {
+	for _, s := range []*sim.Server{n.CPU, n.Disk, n.Egress, n.Ingress} {
+		s.StallUntil(restartAt)
+	}
+	if n.down {
+		return
+	}
+	n.down = true
+	n.downFrom = n.eng.Now()
+	n.crashes++
+}
+
+// Restart marks the node up again at the current virtual time, closing
+// the open downtime interval. No-op when the node is not down.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.downs = append(n.downs, [2]sim.Time{n.downFrom, n.eng.Now()})
+	n.down = false
+}
+
+// DownBetween returns the seconds the node was crashed during [a, b),
+// including a still-open outage.
+func (n *Node) DownBetween(a, b sim.Time) float64 {
+	total := 0.0
+	overlap := func(s, e sim.Time) {
+		lo, hi := s, e
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	for _, iv := range n.downs {
+		overlap(iv[0], iv[1])
+	}
+	if n.down {
+		overlap(n.downFrom, b)
 	}
 	return total
 }

@@ -291,3 +291,53 @@ func TestTimelineWithoutTraceIsEmptyStrips(t *testing.T) {
 		t.Fatalf("untraced timeline should be blank strips:\n%s", tl)
 	}
 }
+
+// TestNodeFailRestartDowntime: Fail stalls all four servers to the
+// restart time, flips the down flag, and DownBetween accounts the
+// outage (including a still-open one).
+func TestNodeFailRestartDowntime(t *testing.T) {
+	c, err := New(Homogeneous(1, hw.BeefyL5630()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[0]
+	c.Eng.At(2, func() {
+		n.Fail(5)
+		if !n.Down() || n.Crashes() != 1 {
+			t.Errorf("after Fail: down=%v crashes=%d", n.Down(), n.Crashes())
+		}
+		for _, s := range []*sim.Server{n.CPU, n.Disk, n.Egress, n.Ingress} {
+			if s.FreeAt() != 5 {
+				t.Errorf("server %s not stalled to restart: FreeAt=%v", s.Name(), s.FreeAt())
+			}
+		}
+		// Failing again during the outage extends the stall but is not
+		// a second crash.
+		n.Fail(6)
+		if n.Crashes() != 1 {
+			t.Errorf("re-Fail counted a second crash")
+		}
+		if n.CPU.FreeAt() != 6 {
+			t.Errorf("re-Fail did not extend the stall: %v", n.CPU.FreeAt())
+		}
+	})
+	c.Eng.At(4, func() {
+		if got := n.DownBetween(0, 4); got != 2 {
+			t.Errorf("open-outage DownBetween = %v, want 2", got)
+		}
+	})
+	c.Eng.At(6, func() {
+		n.Restart()
+		if n.Down() {
+			t.Error("still down after Restart")
+		}
+		n.Restart() // idempotent
+	})
+	c.Run()
+	if got := n.DownBetween(0, 10); got != 4 {
+		t.Fatalf("DownBetween = %v, want 4", got)
+	}
+	if got := n.DownBetween(3, 5); got != 2 {
+		t.Fatalf("windowed DownBetween = %v, want 2", got)
+	}
+}

@@ -6,10 +6,12 @@
 //
 // Experiment IDs follow the paper: table1, fig1a, fig1b, fig2a, fig2b,
 // hadoopdb, fig3, fig4, fig5, table2, fig6, fig7a, fig7b, fig8, fig9,
-// table3, fig10a, fig10b, fig11, fig12. Two extension experiments
-// (htap1, htap2) re-measure the paper's energy trade-offs with the HTAP
-// write path running (internal/delta), which the read-only figures hold
-// idle.
+// table3, fig10a, fig10b, fig11, fig12. Four extension experiments go
+// beyond the paper's read-only, always-healthy scope: htap1/htap2
+// re-measure the energy trade-offs with the HTAP write path running
+// (internal/delta), and fault1/fault2 price fault tolerance — node
+// crashes with query retry, and straggler-induced tail latency — under
+// the deterministic fault plane (internal/fault).
 //
 // Scale note: engine-backed experiments (fig3-fig7) run the actual
 // P-store engine in phantom-batch mode. Figures 3-5 use TPC-H scale 100
@@ -63,6 +65,8 @@ func Registry() []Experiment {
 		{"fig12", "Design principles walkthrough (target = 0.6 performance)", Fig12},
 		{"htap1", "HTAP: analytics vs transactional update rate", Htap1},
 		{"htap2", "HTAP: energy per transaction and per query across designs", Htap2},
+		{"fault1", "Fault tolerance: availability and energy vs node MTTF", Fault1},
+		{"fault2", "Fault tolerance: straggler intensity vs tail latency", Fault2},
 	}
 }
 

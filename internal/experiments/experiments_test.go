@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1a", "fig1b", "fig2a", "fig2b", "hadoopdb",
 		"fig3", "fig4", "fig5", "table2", "fig6", "fig7a", "fig7b",
 		"fig8", "fig9", "table3", "fig10a", "fig10b", "fig11", "fig12",
-		"htap1", "htap2"}
+		"htap1", "htap2", "fault1", "fault2"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

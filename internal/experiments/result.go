@@ -51,6 +51,11 @@ type Options struct {
 	// 16M). Rate 0 is the read-only baseline every htap series is
 	// normalized against and must be present.
 	HTAPRates []float64
+	// FaultSeed seeds the fault1/fault2 fault plans (default 1; 0 means
+	// the default, so the zero Options value stays the published
+	// configuration). The plan also mixes in the cluster fingerprint,
+	// so each grid point draws its own schedule.
+	FaultSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.HTAPRates) == 0 {
 		o.HTAPRates = []float64{0, 2e6, 8e6, 16e6}
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
 	}
 	return o
 }

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Counts tallies episodes that actually fired (Stop suppresses episodes
+// scheduled past the workload's makespan).
+type Counts struct {
+	Crashes    int
+	Stragglers int
+	Drops      int
+}
+
+// Injector arms a plan against a cluster: every episode becomes DES
+// events on the owning node's engine. All events are scheduled up front
+// from root context (before the engines run), so the event sequence —
+// and therefore the simulation — is identical at any partition count.
+//
+// Call Stop when the workload completes: remaining scheduled events
+// become no-ops, so a plan whose horizon outlives the workload does not
+// drag the simulation (and its idle-energy bill) out to the horizon.
+type Injector struct {
+	c       *cluster.Cluster
+	stopped bool
+	fired   Counts
+	onCrash []func(node int)
+}
+
+// Inject schedules the plan's episodes on the cluster. Must be called
+// before the cluster runs (all event times are in the future of t=0).
+func Inject(c *cluster.Cluster, p *Plan) *Injector {
+	inj := &Injector{c: c}
+	if p.Empty() {
+		return inj
+	}
+	for _, cr := range p.Crashes {
+		cr := cr
+		n := c.Nodes[cr.Node]
+		eng := c.EngineFor(cr.Node)
+		eng.At(cr.At, func() {
+			if inj.stopped {
+				return
+			}
+			inj.fired.Crashes++
+			n.Fail(eng.Now() + sim.Time(cr.Downtime))
+			for _, hook := range inj.onCrash {
+				hook(cr.Node)
+			}
+		})
+		eng.At(cr.At+sim.Time(cr.Downtime), func() {
+			// Restart even after Stop so an open downtime interval is
+			// closed and DownBetween stays consistent.
+			n.Restart()
+		})
+	}
+	for _, st := range p.Stragglers {
+		st := st
+		n := c.Nodes[st.Node]
+		eng := c.EngineFor(st.Node)
+		servers := []*sim.Server{n.CPU, n.Disk, n.Egress, n.Ingress}
+		eng.At(st.At, func() {
+			if inj.stopped {
+				return
+			}
+			inj.fired.Stragglers++
+			// Save the healthy rates and restore them exactly — a
+			// divide-then-multiply round trip is not float-exact for
+			// every factor. The restore is scheduled from inside the
+			// degrade event: if the episode never starts (Stop), the
+			// rates were never touched and no restore is needed.
+			orig := make([]float64, len(servers))
+			for i, s := range servers {
+				orig[i] = s.Rate()
+				s.SetRate(orig[i] / st.Factor)
+			}
+			eng.At(eng.Now()+sim.Time(st.Duration), func() {
+				for i, s := range servers {
+					s.SetRate(orig[i])
+				}
+			})
+		})
+	}
+	for _, dr := range p.Drops {
+		dr := dr
+		n := c.Nodes[dr.Node]
+		eng := c.EngineFor(dr.Node)
+		eng.At(dr.At, func() {
+			if inj.stopped {
+				return
+			}
+			inj.fired.Drops++
+			until := eng.Now() + sim.Time(dr.Stall)
+			n.Egress.StallUntil(until)
+			n.Ingress.StallUntil(until)
+		})
+	}
+	return inj
+}
+
+// OnCrash registers a hook invoked (from the crash event, at crash
+// virtual time) whenever a node goes down. The execution layer uses
+// this to abort in-flight queries so the retry path can re-run them.
+// Hooks run in registration order.
+func (inj *Injector) OnCrash(fn func(node int)) { inj.onCrash = append(inj.onCrash, fn) }
+
+// Stop disarms episodes that have not fired yet. Pending restart events
+// still close any open downtime interval.
+func (inj *Injector) Stop() { inj.stopped = true }
+
+// Fired returns the episode counts that actually executed.
+func (inj *Injector) Fired() Counts { return inj.fired }

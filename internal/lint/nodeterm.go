@@ -21,6 +21,7 @@ var simulatedPkgs = map[string]bool{
 	"sched":       true,
 	"workload":    true,
 	"experiments": true,
+	"fault":       true,
 }
 
 // timeFuncs are the wall-clock reads and timer constructors forbidden
@@ -57,8 +58,8 @@ var Nodeterm = &analysis.Analyzer{
 	Name:      "nodeterm",
 	Directive: "deterministic",
 	Doc: "forbid wall-clock, global-rand, env and goroutine-racy constructs in simulated code\n\n" +
-		"Packages " + "sim, pstore, delta, sched, workload and experiments" + " run inside the\n" +
-		"discrete-event simulation; any runtime- or host-dependent input there breaks\n" +
+		"Packages " + "sim, pstore, delta, sched, workload, experiments and fault" + " run inside\n" +
+		"the discrete-event simulation; any runtime- or host-dependent input there breaks\n" +
 		"byte-identical reproduction across -shards, -engine-partitions and cache hits.",
 	Run: runNodeterm,
 }

@@ -1,0 +1,36 @@
+// Package fault is a nodeterm fixture: its path ends in "fault", so —
+// like the real internal/fault — it is simulated code where a fault
+// plan must be a pure function of its seed and the DES clock. A
+// wall-clock read or a global rand draw here would make two runs of
+// the same plan diverge.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Plan mimics a fault schedule.
+type Plan struct {
+	Seed int64
+	At   []float64
+}
+
+// NewPlanFromWallClock is the bug the analyzer must catch: seeding a
+// fault plan from the host clock makes every run draw a different
+// schedule.
+func NewPlanFromWallClock() Plan {
+	return Plan{Seed: time.Now().UnixNano()} // want `wall-clock source time\.Now`
+}
+
+// NextCrash draws from the shared global source: also flagged.
+func NextCrash(mttf float64) float64 {
+	return rand.Float64() * mttf // want `global math/rand source rand\.Float64`
+}
+
+// NewPlanSeeded is the correct construction: an explicitly seeded
+// generator threaded through the config is reproducible.
+func NewPlanSeeded(seed int64, mttf float64) Plan {
+	r := rand.New(rand.NewSource(seed))
+	return Plan{Seed: seed, At: []float64{r.Float64() * mttf}}
+}

@@ -22,23 +22,10 @@ type hashTable struct {
 	bytes  float64
 }
 
-// buildFrom folds the input cursor into the table. The cursor's row
-// hint pre-sizes the table before the first batch lands (the table
-// itself is still created lazily at the first materialized batch, so
-// phantom runs never allocate it).
-func (h *hashTable) buildFrom(c storage.Cursor) {
-	if rows, ok := c.RowHint(); ok && int(rows) > h.hint {
-		h.hint = int(rows)
-	}
-	for {
-		b, ok := c.Next()
-		if !ok {
-			return
-		}
-		h.insertBatch(b)
-	}
-}
-
+// insertBatch folds one batch into the table. The consumer seeds hint
+// from its cursor's row hint so the table is pre-sized before the first
+// materialized batch lands (the table itself is still created lazily at
+// that first batch, so phantom runs never allocate it).
 func (h *hashTable) insertBatch(b storage.Batch) {
 	h.rows += int64(b.Rows)
 	h.bytes += b.Bytes()
@@ -174,6 +161,14 @@ type Handle struct {
 	startAt    sim.Time
 	buildEndAt sim.Time
 
+	// aborted flags cooperative cancellation (see Abort in retry.go):
+	// operators observe it at batch boundaries, stop doing work, and run
+	// the normal EOS drain so Done still fires — as a drain-complete
+	// signal — with Err set. Plain bool: operators read it at
+	// deterministic event points and the lockstep window protocol
+	// serializes all partitions.
+	aborted bool
+
 	exec       *Exec
 	buildWG    sim.WaitGroup
 	probeWG    sim.WaitGroup
@@ -198,6 +193,14 @@ type Handle struct {
 func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 	if err := spec.Validate(e.C); err != nil {
 		return nil, err
+	}
+	// Fault plane: every join scans every node, so a down node means the
+	// query cannot be admitted — the retry path backs off and re-enters
+	// here once the node has restarted. No-op on unfaulted clusters.
+	for _, nd := range e.C.Nodes {
+		if nd.Down() {
+			return nil, fmt.Errorf("pstore: %w: node %d is down", ErrNodeDown, nd.ID)
+		}
 	}
 	n := len(e.C.Nodes)
 	buildNodes := spec.BuildNodes
@@ -252,6 +255,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 		var f float64
 		h.fracByNode[b] = &f
 	}
+	e.inflight = append(e.inflight, h)
 
 	isBuild := make(map[int]bool, len(buildNodes))
 	for _, b := range buildNodes {
@@ -283,7 +287,23 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 				p: p, mb: buildMB[b], cpu: node.CPU, work: e.cfg.JoinWork,
 				hint: int64(hint), ok: true,
 			}
-			h.tables[b].buildFrom(in)
+			// As buildFrom, plus abort awareness: an aborted query keeps
+			// draining its mailboxes to EOS (the exchange protocol must
+			// run down so nothing deadlocks) but stops inserting.
+			ht := h.tables[b]
+			if rows, ok := in.RowHint(); ok && int(rows) > ht.hint {
+				ht.hint = int(rows)
+			}
+			for {
+				batch, ok := in.Next()
+				if !ok {
+					break
+				}
+				if h.aborted {
+					continue
+				}
+				ht.insertBatch(batch)
+			}
 			h.buildWG.Done()
 		})
 	}
@@ -329,7 +349,11 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 					if !ok {
 						break
 					}
-					ship(out)
+					// Aborted: consume and drop so the scan side is never
+					// blocked on the queue, then run the EOS fan-out.
+					if !h.aborted {
+						ship(out)
+					}
 				}
 				for _, dst := range buildNodes {
 					e.C.Send(sp, cluster.Message{From: nd, To: dst, EOS: true, Dest: buildMB[dst]})
@@ -337,7 +361,7 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 			})
 			src := e.scan(p, node, part, spec.BuildSel)
 			defer src.Close()
-			for {
+			for !h.aborted {
 				out, ok := src.Next()
 				if !ok {
 					break
@@ -360,6 +384,9 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 				batch, ok := in.Next()
 				if !ok {
 					break
+				}
+				if h.aborted {
+					continue // drain to EOS, no probe work
 				}
 				rows, sum := ht.probeBatch(batch, matchRate, frac)
 				h.outRows += rows
@@ -437,7 +464,9 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 					if !ok {
 						break
 					}
-					ship(out)
+					if !h.aborted {
+						ship(out)
+					}
 				}
 				// EOS fan-out mirrors the mailbox sender counts.
 				if spec.Method == Broadcast || spec.Method == Prepartitioned {
@@ -458,7 +487,12 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 			if len(dimFilters) > 0 {
 				src = &dimFilterCursor{in: src, p: p, cpu: node.CPU, filters: dimFilters}
 			}
-			for {
+			// Close on every exit: on abort this stops the cold-scan disk
+			// pump so no blocks nobody will read keep booking disk time.
+			// On normal exhaustion the cursor has already released itself
+			// and Close books nothing, so timings are unchanged.
+			defer src.Close()
+			for !h.aborted {
 				out, ok := src.Next()
 				if !ok {
 					break
@@ -479,6 +513,19 @@ func (e *Exec) LaunchJoin(id string, spec JoinSpec) (*Handle, error) {
 
 func (h *Handle) finalize(end sim.Time) {
 	e := h.exec
+	for i, other := range e.inflight {
+		if other == h {
+			e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
+			break
+		}
+	}
+	if h.aborted {
+		// Done still fires — it is the drain-complete signal the retry
+		// driver waits on — but the result is void and Err (set by
+		// Abort) reports why.
+		h.Done.Fire()
+		return
+	}
 	r := &h.Result
 	r.Seconds = end - h.startAt
 	r.BuildSeconds = h.buildEndAt - h.startAt

@@ -175,6 +175,15 @@ type Exec struct {
 	C      *cluster.Cluster
 	cfg    Config
 	deltas *delta.Set
+
+	// inflight holds launched-but-not-finalized handles in launch order,
+	// so AbortInFlight visits queries deterministically. Like the delta
+	// set, this is live mutable state bound to the Exec instance, never
+	// Config — it must not leak into join-cache fingerprints.
+	inflight []*Handle
+	// openCursors counts live scan cursors; Exec-level leak accounting
+	// for abort paths (see OpenCursors).
+	openCursors int
 }
 
 // New creates an engine instance on the given cluster.

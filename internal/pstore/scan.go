@@ -35,6 +35,7 @@ import (
 type scanCursor struct {
 	p    *sim.Proc
 	node *cluster.Node
+	exec *Exec
 	sel  float64
 
 	thr    int64
@@ -48,6 +49,7 @@ type scanCursor struct {
 	prefetch *sim.Queue[storage.Batch] // cold path: disk-pump output
 	stop     bool                      // cold path: tells the pump to exit
 	closed   bool
+	released bool // openCursors already decremented
 	hint     int64
 }
 
@@ -73,12 +75,13 @@ func (e *Exec) scan(p *sim.Proc, node *cluster.Node, part *storage.Partition, se
 		src = &bc
 	}
 	c := &scanCursor{
-		p: p, node: node, sel: sel,
+		p: p, node: node, exec: e, sel: sel,
 		thr:    tpch.SelThreshold(sel),
 		selIdx: selColIndex(part.Def.Table),
 		warm:   e.cfg.WarmCache,
 		hint:   int64(float64(rows) * sel),
 	}
+	e.openCursors++
 	if c.warm {
 		c.cur = src
 		return c
@@ -108,6 +111,10 @@ func (c *scanCursor) Next() (storage.Batch, bool) {
 	for !c.closed {
 		b, ok := c.read()
 		if !ok {
+			// Exhausted: the scan released its resources on its own
+			// (the block source / disk pump has shut down), so it no
+			// longer counts as open even without an explicit Close.
+			c.release()
 			break
 		}
 		// CPU cost of scan+select+project: raw bytes through the pipeline.
@@ -134,6 +141,7 @@ func (c *scanCursor) Close() {
 		return
 	}
 	c.closed = true
+	c.release()
 	if c.warm {
 		c.cur.Close()
 		return
@@ -144,6 +152,16 @@ func (c *scanCursor) Close() {
 			break
 		}
 	}
+}
+
+// release decrements the engine's open-cursor count exactly once, on
+// Close or on exhaustion, whichever comes first.
+func (c *scanCursor) release() {
+	if c.released {
+		return
+	}
+	c.released = true
+	c.exec.openCursors--
 }
 
 // read pulls the next raw block: straight from the partition cursor when

@@ -14,7 +14,7 @@ import (
 var engineBacked = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true,
 	"fig7a": true, "fig7b": true, "fig8": true, "fig9": true,
-	"htap1": true, "htap2": true,
+	"htap1": true, "htap2": true, "fault1": true, "fault2": true,
 }
 
 func golden(t *testing.T, name string) string {

@@ -12,10 +12,15 @@ import (
 type ServiceResponse struct {
 	ID   string `json:"id"`
 	Kind string `json:"kind"` // "join" | "design"
-	// Status is "ok", "shed" (admission control refused the request) or
-	// "error" (the request was invalid or the run failed).
+	// Status is "ok", "shed" (admission control refused the request),
+	// "deadline" (the request was still queued at its per-request
+	// deadline and was answered without launching) or "error" (the
+	// request was invalid or the run failed).
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// Retries counts the failed join runs this response retried before
+	// succeeding (or giving up); zero when the first attempt answered.
+	Retries int `json:"retries,omitempty"`
 	// Cache is "hit" or "miss" for join requests answered through a
 	// memoizing runner; empty otherwise.
 	Cache string `json:"cache,omitempty"`
@@ -41,6 +46,14 @@ type ServiceMetrics struct {
 	OK       int64 `json:"ok"`
 	Shed     int64 `json:"shed"`
 	Errors   int64 `json:"errors"`
+	// Deadline counts requests that expired in the queue (answered with
+	// status "deadline", never launched). Retries counts failed join
+	// runs that were retried; RetriesShed counts retries refused by the
+	// graceful-degradation gate (fresh work waiting, or the request's
+	// deadline passed) while budget remained.
+	Deadline    int64 `json:"deadline"`
+	Retries     int64 `json:"retries"`
+	RetriesShed int64 `json:"retries_shed"`
 	// CacheHits/CacheMisses count join requests answered from the shared
 	// runner's memory vs fresh engine simulations.
 	CacheHits   int64 `json:"cache_hits"`

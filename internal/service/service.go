@@ -5,7 +5,13 @@
 // shed-on-overload), delays launches per a sched release policy
 // (Immediate or Batched windows), and answers join requests through a
 // shared pstore.JoinRunner — with a pstore.Cache, identical requests are
-// served from memory, bit-identical to a fresh engine run.
+// served from memory, bit-identical to a fresh engine run. Requests
+// carry an optional per-request deadline (Config.Timeout): work still
+// queued at its deadline is answered with status "deadline" instead of
+// launching. Failed join runs are retried within Config.RetryBudget,
+// degrading gracefully under load — a retry runs only while no fresh
+// request waits in the queue and the deadline has not passed, so
+// retries are shed before fresh work is.
 //
 // Responses are typed report.ServiceResponse values (per-request latency,
 // joules, cache hit/miss); aggregate report.ServiceMetrics (throughput,
@@ -72,6 +78,17 @@ type Config struct {
 	ClusterNodes int
 	// Engine is the P-store configuration for join runs.
 	Engine pstore.Config
+	// Timeout is the per-request deadline in wall seconds, measured from
+	// arrival. A request still waiting for a worker at its deadline is
+	// answered with status "deadline" without ever launching, and a
+	// failed join is never retried past it. Zero means no deadline
+	// (cmd/serve -timeout).
+	Timeout float64
+	// RetryBudget is how many times one failed join run may be retried.
+	// Retries degrade gracefully — shed before fresh work: a retry runs
+	// only while no fresh request is waiting in the queue and the
+	// request's deadline (if any) has not passed. Zero disables retry.
+	RetryBudget int
 }
 
 type job struct {
@@ -97,18 +114,21 @@ type Server struct {
 	lifecycle sync.RWMutex // guards closed vs in-flight Do sends
 	closed    bool
 
-	mu       sync.Mutex
-	admitted int // in-flight + queued, capped at Workers+QueueDepth
-	received int64
-	ok       int64
-	shed     int64
-	errs     int64
-	okJoins  int64
-	hits     int64
-	misses   int64
-	respSum  float64
-	respMax  float64
-	joules   float64
+	mu          sync.Mutex
+	admitted    int // in-flight + queued, capped at Workers+QueueDepth
+	received    int64
+	ok          int64
+	shed        int64
+	errs        int64
+	deadline    int64
+	retries     int64
+	retriesShed int64
+	okJoins     int64
+	hits        int64
+	misses      int64
+	respSum     float64
+	respMax     float64
+	joules      float64
 }
 
 // New starts a Server and its worker pool.
@@ -127,6 +147,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ClusterNodes < 1 {
 		return nil, fmt.Errorf("service: ClusterNodes must be at least 1, got %d", cfg.ClusterNodes)
+	}
+	if cfg.Timeout < 0 || math.IsNaN(cfg.Timeout) || math.IsInf(cfg.Timeout, 0) {
+		return nil, fmt.Errorf("service: Timeout must be a positive, finite number of seconds (0 = none), got %v", cfg.Timeout)
+	}
+	if cfg.RetryBudget < 0 {
+		return nil, fmt.Errorf("service: RetryBudget must not be negative, got %d", cfg.RetryBudget)
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -217,12 +243,26 @@ func (s *Server) Close() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		// A request whose queue wait already blew its deadline is
+		// answered without launching: under overload the service sheds
+		// stale work first and spends workers on requests whose answers
+		// someone is still waiting for.
+		if waited := s.now().Sub(j.arrival).Seconds(); s.cfg.Timeout > 0 && waited > s.cfg.Timeout {
+			resp := report.ServiceResponse{ID: j.req.ID, Kind: kindOf(j.req), Status: "deadline",
+				Error: fmt.Sprintf("service: deadline (%gs) exceeded after %.3fs in queue", s.cfg.Timeout, waited)}
+			resp.QueueSeconds = waited
+			resp.WallSeconds = waited
+			s.count(resp)
+			s.release()
+			j.done <- resp
+			continue
+		}
 		arrival := j.arrival.Sub(s.start).Seconds()
 		if wait := s.policy.ReleaseAt(arrival) - s.now().Sub(s.start).Seconds(); wait > 0 {
 			s.sleep(time.Duration(wait * float64(time.Second)))
 		}
 		launched := s.now()
-		resp := s.handle(j.req)
+		resp := s.handle(j.req, j.arrival)
 		resp.QueueSeconds = launched.Sub(j.arrival).Seconds()
 		resp.WallSeconds = s.now().Sub(j.arrival).Seconds()
 		s.count(resp)
@@ -238,8 +278,9 @@ func kindOf(req Request) string {
 	return req.Kind
 }
 
-// handle executes one admitted request.
-func (s *Server) handle(req Request) report.ServiceResponse {
+// handle executes one admitted request; arrival anchors the request's
+// deadline for the retry gate.
+func (s *Server) handle(req Request, arrival time.Time) report.ServiceResponse {
 	resp := report.ServiceResponse{ID: req.ID, Kind: kindOf(req)}
 	fail := func(err error) report.ServiceResponse {
 		resp.Status = "error"
@@ -252,31 +293,39 @@ func (s *Server) handle(req Request) report.ServiceResponse {
 		if err != nil {
 			return fail(err)
 		}
-		c, err := s.mk()
-		if err != nil {
-			return fail(err)
-		}
-		var res pstore.JoinResult
-		var joules float64
-		if hr, ok := s.runner.(pstore.HitReporter); ok {
-			var hit bool
-			res, joules, hit, err = hr.RunJoinHit(c, s.cfg.Engine, spec)
-			if err == nil {
-				resp.Cache = "miss"
-				if hit {
-					resp.Cache = "hit"
-				}
+		// Only the engine run retries: a spec that failed to parse or a
+		// cluster that failed to build will fail identically every time.
+		for attempt := 0; ; attempt++ {
+			resp.Retries = attempt
+			c, err := s.mk()
+			if err != nil {
+				return fail(err)
 			}
-		} else {
-			res, joules, err = s.runner.RunJoin(c, s.cfg.Engine, spec)
+			var res pstore.JoinResult
+			var joules float64
+			if hr, ok := s.runner.(pstore.HitReporter); ok {
+				var hit bool
+				res, joules, hit, err = hr.RunJoinHit(c, s.cfg.Engine, spec)
+				if err == nil {
+					resp.Cache = "miss"
+					if hit {
+						resp.Cache = "hit"
+					}
+				}
+			} else {
+				res, joules, err = s.runner.RunJoin(c, s.cfg.Engine, spec)
+			}
+			if err != nil {
+				if s.allowRetry(attempt, arrival) {
+					continue
+				}
+				return fail(err)
+			}
+			resp.Status = "ok"
+			resp.Seconds = res.Seconds
+			resp.Joules = joules
+			return resp
 		}
-		if err != nil {
-			return fail(err)
-		}
-		resp.Status = "ok"
-		resp.Seconds = res.Seconds
-		resp.Joules = joules
-		return resp
 	case "design":
 		adv, err := s.design(req)
 		if err != nil {
@@ -337,6 +386,27 @@ func (s *Server) design(req Request) (core.Advice, error) {
 	return d.Recommend(target)
 }
 
+// allowRetry is the graceful-degradation gate: a failed join run (its
+// used-so-far retry count given) may try again only while budget
+// remains, the request's deadline has not passed, and no fresh request
+// is waiting in the queue — under load the service sheds retries before
+// it sheds fresh work.
+func (s *Server) allowRetry(used int, arrival time.Time) bool {
+	if used >= s.cfg.RetryBudget {
+		return false
+	}
+	expired := s.cfg.Timeout > 0 && s.now().Sub(arrival).Seconds() > s.cfg.Timeout
+	freshWaiting := len(s.queue) > 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if expired || freshWaiting {
+		s.retriesShed++
+		return false
+	}
+	s.retries++
+	return true
+}
+
 // count folds one finished (or refused) response into the aggregates.
 func (s *Server) count(r report.ServiceResponse) {
 	s.mu.Lock()
@@ -352,6 +422,8 @@ func (s *Server) count(r report.ServiceResponse) {
 		}
 	case "shed":
 		s.shed++
+	case "deadline":
+		s.deadline++
 	default:
 		s.errs++
 	}
@@ -374,6 +446,9 @@ func (s *Server) Metrics() report.ServiceMetrics {
 		OK:          s.ok,
 		Shed:        s.shed,
 		Errors:      s.errs,
+		Deadline:    s.deadline,
+		Retries:     s.retries,
+		RetriesShed: s.retriesShed,
 		CacheHits:   s.hits,
 		CacheMisses: s.misses,
 		WallSeconds: s.now().Sub(s.start).Seconds(),

@@ -1,8 +1,12 @@
 package service
 
 import (
+	"errors"
+	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -269,6 +273,197 @@ func TestServiceConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{ClusterNodes: -4}); err == nil {
 		t.Fatal("negative ClusterNodes accepted")
+	}
+	if _, err := New(Config{Timeout: -1}); err == nil {
+		t.Fatal("negative Timeout accepted")
+	}
+	if _, err := New(Config{Timeout: math.NaN()}); err == nil {
+		t.Fatal("NaN Timeout accepted")
+	}
+	if _, err := New(Config{Timeout: math.Inf(1)}); err == nil {
+		t.Fatal("infinite Timeout accepted")
+	}
+	if _, err := New(Config{RetryBudget: -1}); err == nil {
+		t.Fatal("negative RetryBudget accepted")
+	}
+}
+
+// flakyRunner fails the first failures join runs (counted across the
+// service), then delegates to the engine. gate, when non-nil, blocks
+// every run until closed — it lets tests park one request in flight
+// while they queue others behind it.
+type flakyRunner struct {
+	mu       sync.Mutex
+	failures int
+	runs     int
+	gate     chan struct{}
+}
+
+func (f *flakyRunner) RunJoin(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec) (pstore.JoinResult, float64, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.runs++
+	fail := f.runs <= f.failures
+	f.mu.Unlock()
+	if fail {
+		return pstore.JoinResult{}, 0, errors.New("flaky: injected failure")
+	}
+	return pstore.Engine{}.RunJoin(c, cfg, spec)
+}
+
+func (f *flakyRunner) RunConcurrent(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec, k int) (float64, []float64, float64, error) {
+	return pstore.Engine{}.RunConcurrent(c, cfg, spec, k)
+}
+
+// TestServiceRetryRecoversFlakyRuns: a join whose first two runs fail is
+// answered on the third attempt when the budget covers it, and the
+// response and metrics both account for the spent retries.
+func TestServiceRetryRecoversFlakyRuns(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 2, RetryBudget: 4,
+		Runner: &flakyRunner{failures: 2}, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Do(Request{ID: "flaky", JoinRequest: workload.JoinRequest{SF: 5}})
+	if !r.OK() || r.Retries != 2 {
+		t.Fatalf("flaky request not recovered: %+v", r)
+	}
+	if r.Seconds <= 0 || r.Joules <= 0 {
+		t.Fatalf("recovered response carries no result: %+v", r)
+	}
+	m := s.Metrics()
+	if m.Retries != 2 || m.RetriesShed != 0 || m.OK != 1 || m.Errors != 0 {
+		t.Fatalf("metrics = %+v, want 2 retries, 0 shed", m)
+	}
+}
+
+// TestServiceRetryBudgetExhausts: with a budget smaller than the failure
+// streak the request errors out after spending the whole budget.
+func TestServiceRetryBudgetExhausts(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 2, RetryBudget: 2,
+		Runner: &flakyRunner{failures: 10}, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Do(Request{ID: "doomed", JoinRequest: workload.JoinRequest{SF: 5}})
+	if r.Status != "error" || r.Retries != 2 {
+		t.Fatalf("exhausted request = %+v, want error after 2 retries", r)
+	}
+	if m := s.Metrics(); m.Retries != 2 || m.Errors != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestServiceRetriesShedBeforeFreshWork is the graceful-degradation
+// contract: a failed run with budget remaining is NOT retried while a
+// fresh request waits in the queue — the retry is shed (counted) and
+// the fresh request gets the worker.
+func TestServiceRetriesShedBeforeFreshWork(t *testing.T) {
+	fr := &flakyRunner{failures: 1, gate: make(chan struct{})}
+	s, err := New(Config{Workers: 1, QueueDepth: 2, RetryBudget: 4,
+		Runner: fr, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var first, second report.ServiceResponse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first = s.Do(Request{ID: "fails", JoinRequest: workload.JoinRequest{SF: 5}})
+	}()
+	// Wait until the first request is in flight (parked on the gate),
+	// then queue a fresh one behind it.
+	for {
+		s.mu.Lock()
+		admitted := s.admitted
+		s.mu.Unlock()
+		if admitted == 1 && len(s.queue) == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		second = s.Do(Request{ID: "fresh", JoinRequest: workload.JoinRequest{SF: 5}})
+	}()
+	for len(s.queue) == 0 {
+		runtime.Gosched()
+	}
+	close(fr.gate) // release both runs
+	wg.Wait()
+
+	if first.Status != "error" || first.Retries != 0 {
+		t.Fatalf("failed request should have shed its retry: %+v", first)
+	}
+	if !second.OK() {
+		t.Fatalf("fresh request starved: %+v", second)
+	}
+	m := s.Metrics()
+	if m.Retries != 0 || m.RetriesShed != 1 {
+		t.Fatalf("metrics = %+v, want 0 retries / 1 shed", m)
+	}
+}
+
+// TestServiceDeadlineExpiresQueuedRequests: a request that outwaits the
+// per-request deadline in the queue is answered with status "deadline"
+// without launching, and never consumes a retry.
+func TestServiceDeadlineExpiresQueuedRequests(t *testing.T) {
+	fr := &flakyRunner{gate: make(chan struct{})}
+	s, err := New(Config{Workers: 1, QueueDepth: 2, Timeout: 0.05,
+		Runner: fr, Engine: engineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var first, second report.ServiceResponse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first = s.Do(Request{ID: "holds", JoinRequest: workload.JoinRequest{SF: 5}})
+	}()
+	for {
+		s.mu.Lock()
+		admitted := s.admitted
+		s.mu.Unlock()
+		if admitted == 1 && len(s.queue) == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		second = s.Do(Request{ID: "expires", JoinRequest: workload.JoinRequest{SF: 5}})
+	}()
+	for len(s.queue) == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(100 * time.Millisecond) // blow the 50 ms deadline while queued
+	close(fr.gate)
+	wg.Wait()
+
+	if !first.OK() {
+		t.Fatalf("in-flight request failed: %+v", first)
+	}
+	if second.Status != "deadline" || second.Error == "" {
+		t.Fatalf("queued request did not expire: %+v", second)
+	}
+	if second.QueueSeconds < 0.05 {
+		t.Fatalf("expired request reports implausible queue wait: %+v", second)
+	}
+	m := s.Metrics()
+	if m.Deadline != 1 || m.OK != 1 || m.Errors != 0 {
+		t.Fatalf("metrics = %+v, want 1 deadline / 1 ok", m)
 	}
 }
 

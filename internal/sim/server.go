@@ -88,6 +88,36 @@ func (s *Server) ProcessAsync(size float64, fn func()) {
 	}
 }
 
+// SetRate changes the service rate for work booked from now on. Work
+// already booked keeps the completion time it was given — a rate change
+// mid-queue models the scheduler's view (new arrivals see the degraded
+// hardware), not a re-plan of in-flight instructions. The fault plane
+// uses this for straggler episodes: a node's servers run at rate/factor
+// for the episode, then are restored. Rate must stay positive and
+// finite; the zero-rate case is a stall, not a rate (see StallUntil).
+func (s *Server) SetRate(rate float64) {
+	if !(rate > 0) || rate > maxRate {
+		panic(fmt.Sprintf("sim: server %q rate %v must be positive and finite", s.name, rate))
+	}
+	s.rate = rate
+}
+
+// maxRate bounds SetRate against Inf (and, via the !(rate>0) check
+// above, NaN): an infinite rate would make every booking complete
+// instantly and break busy-interval accounting.
+const maxRate = 1e300
+
+// StallUntil makes the server unavailable until absolute virtual time t:
+// work booked from now on starts no earlier than t (behind whatever was
+// already queued). The stall books no busy time — the server is down,
+// not working — so power meters see the interval as idle. The fault
+// plane uses this for crash downtime and transient fabric drops.
+func (s *Server) StallUntil(t Time) {
+	if t > s.free {
+		s.free = t
+	}
+}
+
 // FreeAt returns the time at which currently queued work finishes.
 func (s *Server) FreeAt() Time { return s.free }
 

@@ -395,3 +395,71 @@ func TestClockMonotonicProperty(t *testing.T) {
 		t.Fatal("clock went backwards")
 	}
 }
+
+// TestServerSetRateAffectsFutureBookingsOnly: work already booked keeps
+// its completion time; work booked after the change sees the new rate.
+func TestServerSetRateAffectsFutureBookingsOnly(t *testing.T) {
+	e := New()
+	s := NewServer(e, "cpu", 100)
+	var done1, done2 Time
+	e.Go("a", func(p *Proc) {
+		s.Process(p, 500) // booked at rate 100: completes at 5
+		done1 = p.Now()
+	})
+	e.Go("slowdown", func(p *Proc) {
+		p.Hold(1)
+		s.SetRate(50)     // halve the rate mid-queue
+		s.Process(p, 100) // queued behind a: 5 + 100/50 = 7
+		done2 = p.Now()
+	})
+	e.Run()
+	if math.Abs(done1-5) > 1e-9 || math.Abs(done2-7) > 1e-9 {
+		t.Fatalf("completions = %v, %v; want 5, 7", done1, done2)
+	}
+	if s.Rate() != 50 {
+		t.Fatalf("rate = %v, want 50", s.Rate())
+	}
+}
+
+// TestServerSetRateRejectsNonPositive: zero, negative, NaN and Inf
+// rates all panic — a zero rate is a stall, not a rate.
+func TestServerSetRateRejectsNonPositive(t *testing.T) {
+	e := New()
+	s := NewServer(e, "cpu", 1)
+	for _, r := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetRate(%v) did not panic", r)
+				}
+			}()
+			s.SetRate(r)
+		}()
+	}
+}
+
+// TestServerStallUntil: a stalled server delays new work to the stall
+// time without booking busy seconds (meters see the outage as idle),
+// and never shortens an existing queue.
+func TestServerStallUntil(t *testing.T) {
+	e := New()
+	s := NewServer(e, "cpu", 100)
+	var done Time
+	e.Go("a", func(p *Proc) {
+		s.StallUntil(4)
+		s.Process(p, 100) // starts at 4, completes at 5
+		done = p.Now()
+	})
+	e.Run()
+	if math.Abs(done-5) > 1e-9 {
+		t.Fatalf("completion = %v, want 5", done)
+	}
+	if got := s.BusyBetween(0, 4); got != 0 {
+		t.Fatalf("stall booked %v busy seconds, want 0", got)
+	}
+	// A stall earlier than the queue's end is a no-op.
+	s.StallUntil(2)
+	if s.FreeAt() != 5 {
+		t.Fatalf("backdated stall moved FreeAt to %v", s.FreeAt())
+	}
+}

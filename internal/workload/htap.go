@@ -118,32 +118,62 @@ func (r HTAPResult) JoulesPerTxn() float64 {
 	return r.Joules / float64(r.Txns)
 }
 
-// RunHTAP executes one mixed HTAP run on the cluster: per-node delta
-// stores over the LINEITEM partitions (with merge schedulers), per-node
-// ingest front-ends + appliers pumping the update stream through the
-// fabric, and an analytics driver issuing spec.Queries sequential Q3
-// joins whose scans read the stores' merged views. Returns after the
-// simulation drains; the result carries timing, write-path counters and
-// total energy.
-//
-// The update stream is phantom (count-accounted, like every paper-scale
-// table); the analytic tables must be phantom too.
-func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, error) {
-	spec = spec.withDefaults()
+// htapPlant is the shared machinery of a mixed run: the execution
+// engine with delta stores attached, the merge schedulers, and the
+// ingest front-ends + appliers pumping the update stream. Both RunHTAP
+// and RunFaulted build one and differ only in the analytics driver they
+// put on top.
+type htapPlant struct {
+	e      *pstore.Exec
+	join   pstore.JoinSpec
+	stores []*delta.Store
+
+	// stopped is written by the analytics driver and read by the ingest
+	// front-ends; the partition group executes serially in lockstep, so
+	// a plain bool is deterministic (the same pattern the join handles
+	// use for their shared counters).
+	stopped bool
+}
+
+// stop ends the update stream (front-ends send EOS on their next tick)
+// and the merge schedulers. Called by the analytics driver at makespan.
+func (pl *htapPlant) stop() {
+	pl.stopped = true
+	for _, st := range pl.stores {
+		st.Stop()
+	}
+}
+
+// stats folds the write-path counters into the result fields.
+func (pl *htapPlant) stats() (txns, txnRows int64, merges int) {
+	for _, st := range pl.stores {
+		s := st.Stats()
+		txns += s.Txns
+		txnRows += s.Rows
+		merges += s.Merges
+	}
+	return
+}
+
+// buildHTAPPlant wires the write path onto the cluster: per-node delta
+// stores over the probe-table partitions (attached to a fresh pstore
+// engine so scans read merged views), merge schedulers, and — when the
+// spec sets an update rate — per-node ingest front-ends and appliers.
+func buildHTAPPlant(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (*htapPlant, error) {
 	join := Q3Join(spec.SF, spec.BuildSel, spec.ProbeSel, spec.Method)
 	n := len(c.Nodes)
 
 	e := pstore.New(c, cfg)
 	probeParts, err := storage.PartitionTable(join.Probe, n, e.Config().BatchRows)
 	if err != nil {
-		return HTAPResult{}, err
+		return nil, err
 	}
 	stores := make([]*delta.Store, n)
 	set := delta.NewSet()
 	for i, nd := range c.Nodes {
 		st, serr := delta.NewStore(probeParts[i], i, nd.CPU, spec.Delta)
 		if serr != nil {
-			return HTAPResult{}, serr
+			return nil, serr
 		}
 		stores[i] = st
 		set.Attach(join.Probe.Table, i, st)
@@ -152,12 +182,7 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 	for i, st := range stores {
 		st.StartMerger(c.EngineFor(i))
 	}
-
-	// stopped is written by the analytics driver and read by the ingest
-	// front-ends; the partition group executes serially in lockstep, so
-	// a plain bool is deterministic (the same pattern the join handles
-	// use for their shared counters).
-	var stopped bool
+	pl := &htapPlant{e: e, join: join, stores: stores}
 
 	if spec.UpdateRowsPerSec > 0 {
 		interval := float64(spec.UpdateBatchRows) / (spec.UpdateRowsPerSec / float64(n))
@@ -187,7 +212,7 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 			i := i
 			rr := i // stagger the round-robin start across front-ends
 			sim.Periodic(c.EngineFor(i), fmt.Sprintf("htap.ingest.%d", i), interval, func(p *sim.Proc) bool {
-				if stopped {
+				if pl.stopped {
 					for dst := 0; dst < n; dst++ {
 						c.Send(p, cluster.Message{From: i, To: dst, EOS: true, Dest: applyMB[dst]})
 					}
@@ -204,6 +229,25 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 			})
 		}
 	}
+	return pl, nil
+}
+
+// RunHTAP executes one mixed HTAP run on the cluster: per-node delta
+// stores over the LINEITEM partitions (with merge schedulers), per-node
+// ingest front-ends + appliers pumping the update stream through the
+// fabric, and an analytics driver issuing spec.Queries sequential Q3
+// joins whose scans read the stores' merged views. Returns after the
+// simulation drains; the result carries timing, write-path counters and
+// total energy.
+//
+// The update stream is phantom (count-accounted, like every paper-scale
+// table); the analytic tables must be phantom too.
+func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, error) {
+	spec = spec.withDefaults()
+	pl, err := buildHTAPPlant(c, cfg, spec)
+	if err != nil {
+		return HTAPResult{}, err
+	}
 
 	// Analytics driver: sequential Q3 joins; each scan reads the merged
 	// views, so every query sees all writes applied before its scans.
@@ -211,7 +255,7 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 	var launchErr error
 	c.EngineFor(0).Go("htap.driver", func(p *sim.Proc) {
 		for q := 0; q < spec.Queries; q++ {
-			h, lerr := e.LaunchJoin(fmt.Sprintf("htap.q%d", q), join)
+			h, lerr := pl.e.LaunchJoin(fmt.Sprintf("htap.q%d", q), pl.join)
 			if lerr != nil {
 				launchErr = lerr
 				break
@@ -224,10 +268,7 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 			res.QuerySeconds = append(res.QuerySeconds, h.Result.Seconds)
 		}
 		res.Makespan = p.Now()
-		stopped = true
-		for _, st := range stores {
-			st.Stop()
-		}
+		pl.stop()
 		if launchErr != nil {
 			c.Eng.Halt()
 		}
@@ -243,11 +284,6 @@ func RunHTAP(c *cluster.Cluster, cfg pstore.Config, spec HTAPSpec) (HTAPResult, 
 	}
 	c.StopMeters()
 	res.Joules = c.TotalJoules()
-	for _, st := range stores {
-		s := st.Stats()
-		res.Txns += s.Txns
-		res.TxnRows += s.Rows
-		res.Merges += s.Merges
-	}
+	res.Txns, res.TxnRows, res.Merges = pl.stats()
 	return res, nil
 }

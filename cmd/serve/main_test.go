@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/pstore"
+	"repro/internal/service"
+)
+
+func testServer(t *testing.T, compat bool, cfg service.Config) *httptest.Server {
+	t.Helper()
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(s, compat))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+func defaultConfig() service.Config {
+	return service.Config{
+		Admission: service.Admission{QueueDepth: 8},
+		Execution: service.Execution{
+			Workers: 2,
+			Engine:  pstore.Config{WarmCache: true, BatchRows: 200_000},
+			Runner:  pstore.NewCache(nil),
+		},
+	}
+}
+
+func post(t *testing.T, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// TestHTTPStatusMapping: request-invalid errors are 400s, answered
+// requests are 200s — the caller's fault vs the service's, split by the
+// response's invalid flag.
+func TestHTTPStatusMapping(t *testing.T) {
+	ts := testServer(t, true, defaultConfig())
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantSub  string
+	}{
+		{
+			name:     "envelope join answers 200",
+			body:     `{"v":1,"id":"q1","tenant":"dash","join":{"sf":5}}`,
+			wantCode: http.StatusOK,
+			wantSub:  `"status":"ok"`,
+		},
+		{
+			name:     "legacy flat join answers 200 via compat",
+			body:     `{"id":"legacy","sf":5}`,
+			wantCode: http.StatusOK,
+			wantSub:  `"status":"ok"`,
+		},
+		{
+			name:     "unknown field is the caller's fault: 400",
+			body:     `{"id":"t","join":{"probe_sell":0.1}}`,
+			wantCode: http.StatusBadRequest,
+			wantSub:  `probe_sell`,
+		},
+		{
+			name:     "invalid payload value: 400",
+			body:     `{"id":"bad","join":{"sf":-3}}`,
+			wantCode: http.StatusBadRequest,
+			wantSub:  `"status":"error"`,
+		},
+		{
+			name:     "bad priority: 400",
+			body:     `{"id":"p","priority":"urgent","join":{"sf":5}}`,
+			wantCode: http.StatusBadRequest,
+			wantSub:  `priority`,
+		},
+		{
+			name:     "unsupported envelope version: 400",
+			body:     `{"v":7,"join":{"sf":5}}`,
+			wantCode: http.StatusBadRequest,
+			wantSub:  `version`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body, _ := post(t, ts.URL+"/", tc.body)
+			if code != tc.wantCode {
+				t.Fatalf("POST %s -> %d (%s), want %d", tc.body, code, body, tc.wantCode)
+			}
+			if !strings.Contains(body, tc.wantSub) {
+				t.Fatalf("body %q does not mention %q", body, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestHTTPCompatOffRejectsLegacy: with -compat=false a flat request is a
+// 400 pointing at the compat switch.
+func TestHTTPCompatOffRejectsLegacy(t *testing.T) {
+	ts := testServer(t, false, defaultConfig())
+	code, body, _ := post(t, ts.URL+"/", `{"id":"legacy","sf":5}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "-compat") {
+		t.Fatalf("legacy with compat off -> %d %q", code, body)
+	}
+}
+
+// gateRunner parks every join until its gate closes.
+type gateRunner struct{ gate chan struct{} }
+
+func (g *gateRunner) RunJoin(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec) (pstore.JoinResult, float64, error) {
+	<-g.gate
+	return pstore.JoinResult{Seconds: 1}, 1, nil
+}
+
+func (g *gateRunner) RunConcurrent(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec, k int) (float64, []float64, float64, error) {
+	return 0, nil, 0, errors.New("unused")
+}
+
+// TestHTTPShedMapsTo429WithRetryAfter: a one-worker, zero-queue service
+// answers exactly one of two concurrent requests and sheds the other
+// with 429 + Retry-After; the shed response arrives while the admitted
+// one is still running.
+func TestHTTPShedMapsTo429WithRetryAfter(t *testing.T) {
+	gr := &gateRunner{gate: make(chan struct{})}
+	ts := testServer(t, true, service.Config{
+		Execution: service.Execution{Workers: 1, Runner: gr,
+			Engine: pstore.Config{WarmCache: true, BatchRows: 200_000}},
+	})
+
+	type result struct {
+		code   int
+		body   string
+		header http.Header
+	}
+	results := make(chan result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body, h := post(t, ts.URL+"/", `{"join":{"sf":5}}`)
+			results <- result{code, body, h}
+		}()
+	}
+	// The shed response returns immediately; the admitted one is parked
+	// on the gate, so the first arrival must be the 429.
+	shed := <-results
+	if shed.code != http.StatusTooManyRequests || !strings.Contains(shed.body, `"status":"shed"`) {
+		t.Fatalf("first response = %d %q, want 429 shed", shed.code, shed.body)
+	}
+	if shed.header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	close(gr.gate)
+	ok := <-results
+	wg.Wait()
+	if ok.code != http.StatusOK || !strings.Contains(ok.body, `"status":"ok"`) {
+		t.Fatalf("second response = %d %q, want 200 ok", ok.code, ok.body)
+	}
+}
+
+// failRunner fails every join.
+type failRunner struct{}
+
+func (failRunner) RunJoin(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec) (pstore.JoinResult, float64, error) {
+	return pstore.JoinResult{}, 0, errors.New("injected engine failure")
+}
+
+func (failRunner) RunConcurrent(c *cluster.Cluster, cfg pstore.Config, spec pstore.JoinSpec, k int) (float64, []float64, float64, error) {
+	return 0, nil, 0, errors.New("unused")
+}
+
+// TestHTTPRunFailureMapsTo500: a valid request whose run fails is the
+// service's fault — 500, not 400.
+func TestHTTPRunFailureMapsTo500(t *testing.T) {
+	ts := testServer(t, true, service.Config{
+		Admission: service.Admission{QueueDepth: 4},
+		Execution: service.Execution{Workers: 1, Runner: failRunner{},
+			Engine: pstore.Config{WarmCache: true, BatchRows: 200_000}},
+	})
+	code, body, _ := post(t, ts.URL+"/", `{"id":"doomed","join":{"sf":5}}`)
+	if code != http.StatusInternalServerError || !strings.Contains(body, "injected engine failure") {
+		t.Fatalf("failed run -> %d %q, want 500", code, body)
+	}
+}
+
+// TestHTTPMetricsEndpoint: GET /metrics includes the per-tenant
+// breakdown.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	ts := testServer(t, true, defaultConfig())
+	if code, body, _ := post(t, ts.URL+"/", `{"join":{"sf":5}}`); code != http.StatusOK {
+		t.Fatalf("warmup POST -> %d %q", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Received int64                      `json:"received"`
+		Tenants  map[string]json.RawMessage `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Received != 1 {
+		t.Fatalf("metrics received = %d, want 1", m.Received)
+	}
+	if _, ok := m.Tenants["default"]; !ok {
+		t.Fatalf("metrics missing default-tenant breakdown: %+v", m.Tenants)
+	}
+}
+
+// TestParseTenants: the -tenants flag grammar.
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants("dash=128:2, batch=16,zero=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]service.Tenant{
+		"dash":  {QueueDepth: 128, Weight: 2},
+		"batch": {QueueDepth: 16},
+		"zero":  {QueueDepth: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseTenants = %+v, want %+v", got, want)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("parseTenants[%s] = %+v, want %+v", k, got[k], w)
+		}
+	}
+	if m, err := parseTenants(""); err != nil || m != nil {
+		t.Fatalf("empty -tenants = %v, %v", m, err)
+	}
+	for _, bad := range []string{"noequals", "=5", "x=", "x=abc", "x=-1", "x=1:0", "x=1:b", "a=1,a=2"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Fatalf("parseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadTenantNames: count and list forms.
+func TestLoadTenantNames(t *testing.T) {
+	got, err := loadTenantNames("3")
+	if err != nil || len(got) != 3 || got[0] != "hot" || got[2] != "t2" {
+		t.Fatalf("loadTenantNames(3) = %v, %v", got, err)
+	}
+	got, err = loadTenantNames("alpha, beta")
+	if err != nil || len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("loadTenantNames(list) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "-2", "a,,b"} {
+		if _, err := loadTenantNames(bad); err == nil {
+			t.Fatalf("loadTenantNames(%q) accepted", bad)
+		}
+	}
+}

@@ -1,13 +1,15 @@
 // Workload-stream service mode: the heavy-traffic scenario of the
-// ROADMAP's north star, in process. A burst of join requests (plus one
-// cluster-design request) hits a small service: a bounded worker pool
-// admits what it can, sheds the overflow, and answers repeated identical
-// joins from the shared in-memory cache instead of re-simulating them.
+// ROADMAP's north star, in process. Two tenants hit a small service —
+// a hot dashboard fleet flooding one join shape and a quiet ad-hoc
+// tenant trickling requests. Per-tenant admission quotas shed only the
+// flood, deficit-round-robin fair queueing keeps the quiet tenant's
+// latency flat, and repeated identical joins are answered from the
+// shared in-memory cache instead of re-simulating.
 //
 //	go run ./examples/service_stream
 //
-// The same service runs standalone as cmd/serve (JSON lines on stdin or
-// an HTTP endpoint).
+// The same service runs standalone as cmd/serve (JSON lines on stdin,
+// an HTTP endpoint, or the -load trace-replay harness).
 package main
 
 import (
@@ -24,17 +26,28 @@ import (
 func main() {
 	cache := pstore.NewCache(nil)
 	srv, err := service.New(service.Config{
-		Workers:    2,
-		QueueDepth: 8,
-		Runner:     cache,
-		Engine:     pstore.Config{WarmCache: true, BatchRows: 200_000},
+		Admission: service.Admission{
+			QueueDepth: 8,
+			// The quiet tenant gets a modest waiting room of its own; the
+			// hot tenant's flood can only fill the hot queue.
+			Tenants: map[string]service.Tenant{
+				"dashboards": {QueueDepth: 8, Weight: 1},
+				"adhoc":      {QueueDepth: 4, Weight: 1},
+			},
+		},
+		Execution: service.Execution{
+			Workers: 2,
+			Runner:  cache,
+			Engine:  pstore.Config{WarmCache: true, BatchRows: 200_000},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// A burst of 200 requests: four distinct report queries, cycled — the
-	// shape of a dashboard fleet hammering the same joins.
+	// shape of a dashboard fleet hammering the same joins. Every fourth
+	// request is low priority (a background refresh).
 	shapes := []workload.JoinRequest{
 		{SF: 5, BuildSel: 0.05, ProbeSel: 0.05},
 		{SF: 5, BuildSel: 0.10, ProbeSel: 0.02},
@@ -49,9 +62,19 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tenant, priority := "dashboards", ""
+			if i%10 == 0 {
+				tenant = "adhoc" // the quiet tenant's trickle
+			} else if i%4 == 0 {
+				priority = "low"
+			}
+			jr := shapes[i%len(shapes)]
 			responses[i] = srv.Do(service.Request{
-				ID:          fmt.Sprintf("q%d", i),
-				JoinRequest: shapes[i%len(shapes)],
+				V:        1,
+				ID:       fmt.Sprintf("q%d", i),
+				Tenant:   tenant,
+				Priority: priority,
+				Join:     &jr,
 			})
 		}()
 	}
@@ -59,9 +82,11 @@ func main() {
 
 	// One design request rides along: "what cluster should run this?"
 	design := srv.Do(service.Request{
-		ID: "d0", Kind: "design",
-		JoinRequest: workload.JoinRequest{BuildSel: 0.10, ProbeSel: 0.02},
-		BuildGB:     700, ProbeGB: 2800, Nodes: 8, Target: 0.6,
+		ID: "d0", Tenant: "adhoc",
+		Design: &service.DesignRequest{
+			BuildGB: 700, ProbeGB: 2800, Nodes: 8, Target: 0.6,
+			BuildSel: 0.10, ProbeSel: 0.02,
+		},
 	})
 	srv.Close()
 
@@ -77,16 +102,21 @@ func main() {
 			shed++
 		}
 	}
-	fmt.Printf("burst of %d join requests at a 2-worker, depth-8 service:\n", n)
+	fmt.Printf("burst of %d join requests, two tenants, 2 workers:\n", n)
 	fmt.Printf("  answered %d (%d from cache, %d simulated), shed %d — none lost\n\n",
 		ok, hits, ok-hits, shed)
 	fmt.Printf("design request %s -> %s (predicted %.0f s, %.0f kJ)\n\n",
 		design.ID, design.Design, design.Seconds, design.Joules/1000)
 
 	m := srv.Metrics()
-	fmt.Printf("aggregate: %.0f req/s, mean response %.2f ms, %.0f J per answered join\n",
-		m.Throughput, m.MeanResponse*1000, m.JoulesPerQuery)
-	fmt.Printf("cache: %d hits, %d engine runs — identical streamed requests are\n",
+	fmt.Printf("aggregate: %.0f req/s, mean response %.2f ms, p99 %.2f ms, %.0f J per answered join\n",
+		m.Throughput, m.MeanResponse*1000, m.P99*1000, m.JoulesPerQuery)
+	for _, name := range []string{"dashboards", "adhoc"} {
+		tm := m.Tenants[name]
+		fmt.Printf("tenant %-10s received %3d, ok %3d, shed %3d, p99 %6.2f ms (queue p99 %6.2f ms)\n",
+			name, tm.Received, tm.OK, tm.Shed, tm.P99*1000, tm.QueueP99*1000)
+	}
+	fmt.Printf("\ncache: %d hits, %d engine runs — identical streamed requests are\n",
 		m.CacheHits, m.CacheMisses)
 	fmt.Println("answered from memory, bit-identical to a fresh simulation.")
 }

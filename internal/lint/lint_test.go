@@ -13,7 +13,7 @@ import (
 // no more (false positives) and no fewer (vacuous analyzers).
 
 func TestNodeterm(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.Nodeterm, "sim", "fault", "other")
+	analysistest.Run(t, "testdata", lint.Nodeterm, "sim", "fault", "replay", "other")
 }
 
 func TestMaporder(t *testing.T) {

@@ -22,6 +22,8 @@ var simulatedPkgs = map[string]bool{
 	"workload":    true,
 	"experiments": true,
 	"fault":       true,
+	"replay":      true,
+	"fairq":       true,
 }
 
 // timeFuncs are the wall-clock reads and timer constructors forbidden
@@ -58,9 +60,10 @@ var Nodeterm = &analysis.Analyzer{
 	Name:      "nodeterm",
 	Directive: "deterministic",
 	Doc: "forbid wall-clock, global-rand, env and goroutine-racy constructs in simulated code\n\n" +
-		"Packages " + "sim, pstore, delta, sched, workload, experiments and fault" + " run inside\n" +
-		"the discrete-event simulation; any runtime- or host-dependent input there breaks\n" +
-		"byte-identical reproduction across -shards, -engine-partitions and cache hits.",
+		"Packages " + "sim, pstore, delta, sched, workload, experiments, fault, replay and fairq" + " run\n" +
+		"inside (or deterministically feed) the discrete-event simulation; any runtime- or\n" +
+		"host-dependent input there breaks byte-identical reproduction across -shards,\n" +
+		"-engine-partitions, cache hits and trace replays.",
 	Run: runNodeterm,
 }
 

@@ -1,0 +1,57 @@
+// Package replay is a nodeterm fixture: its path ends in "replay", so —
+// like the real internal/replay — it is simulated code. A trace replay
+// must be a pure function of the trace, the injected clock and the
+// seed; reading the host clock, sleeping on its own or spawning
+// goroutines would make two replays of the same trace diverge.
+package replay
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Event mimics a trace event.
+type Event struct {
+	Offset float64
+}
+
+// PaceWithWallClock is the bug the analyzer must catch: pacing against
+// the process clock instead of the injected one.
+func PaceWithWallClock(events []Event) {
+	start := time.Now() // want `wall-clock source time\.Now`
+	for _, ev := range events {
+		wait := ev.Offset - time.Since(start).Seconds() // want `wall-clock source time\.Since`
+		if wait > 0 {
+			time.Sleep(time.Duration(wait * float64(time.Second))) // want `wall-clock source time\.Sleep`
+		}
+	}
+}
+
+// SubmitConcurrently is also flagged: submission order must be trace
+// order, not runtime scheduling order.
+func SubmitConcurrently(events []Event, submit func(Event)) {
+	for _, ev := range events {
+		ev := ev
+		go submit(ev) // want `goroutine spawned in simulated code`
+	}
+}
+
+// JitterGlobally draws trace jitter from the shared global source: also
+// flagged.
+func JitterGlobally(ev Event) Event {
+	ev.Offset += rand.Float64() * 0.001 // want `global math/rand source rand\.Float64`
+	return ev
+}
+
+// SyntheticSeeded is the correct construction: an explicitly seeded
+// generator makes equal arguments yield equal traces, and pacing goes
+// through an injected clock (a plain function value, free of wall-clock
+// calls here).
+func SyntheticSeeded(n int, seed int64, now func() float64) []Event {
+	r := rand.New(rand.NewSource(seed))
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		events = append(events, Event{Offset: now() + r.Float64()})
+	}
+	return events
+}

@@ -97,6 +97,12 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
+// NoteHit books one answered-from-memory request that bypassed the
+// cache's own lookup path. The service layer memoizes repeated requests
+// above the fingerprint machinery; crediting those here keeps
+// Stats.Requests equal to the number of joins the cache answered.
+func (c *Cache) NoteHit() { c.hits.Add(1) }
+
 // lookup returns the entry for key and whether it already existed. A new
 // entry is published immediately (under the lock) so concurrent callers
 // of the same key wait on done instead of re-simulating.

@@ -1,0 +1,147 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// fakeClock advances only when slept on.
+type fakeClock struct {
+	now    float64
+	sleeps []float64
+}
+
+func (f *fakeClock) clock() Clock {
+	return Clock{
+		Now: func() float64 { return f.now },
+		Sleep: func(s float64) {
+			f.sleeps = append(f.sleeps, s)
+			f.now += s
+		},
+	}
+}
+
+func trace() []Event {
+	jr := workload.JoinRequest{SF: 5}
+	return []Event{
+		{Offset: 0, Tenant: "a", Request: service.Request{ID: "e0", Join: &jr}},
+		{Offset: 1.0, Tenant: "b", Priority: "low", Request: service.Request{ID: "e1", Join: &jr}},
+		{Offset: 1.5, Request: service.Request{ID: "e2", Tenant: "c", Priority: "high", Join: &jr}},
+	}
+}
+
+// TestRunPacesAgainstTheClock: with speedup 2, a trace event at offset
+// 1.0 is submitted at 0.5 clock seconds, and event-level tenant and
+// priority override the envelope.
+func TestRunPacesAgainstTheClock(t *testing.T) {
+	fc := &fakeClock{}
+	var got []service.Request
+	n := Run(trace(), fc.clock(), 2, func(r service.Request) { got = append(got, r) })
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("submitted %d/%d events", n, len(got))
+	}
+	wantSleeps := []float64{0.5, 0.25}
+	if len(fc.sleeps) != len(wantSleeps) {
+		t.Fatalf("sleeps %v, want %v", fc.sleeps, wantSleeps)
+	}
+	for i := range wantSleeps {
+		if diff := fc.sleeps[i] - wantSleeps[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("sleeps %v, want %v", fc.sleeps, wantSleeps)
+		}
+	}
+	if got[0].Tenant != "a" || got[1].Tenant != "b" || got[1].Priority != "low" {
+		t.Fatalf("overrides not applied: %+v", got)
+	}
+	if got[2].Tenant != "c" || got[2].Priority != "high" {
+		t.Fatalf("envelope fields clobbered without override: %+v", got[2])
+	}
+}
+
+// TestRunFloodNeverTouchesTheClock: speedup <= 0 submits back-to-back;
+// the nil clock proves no access.
+func TestRunFloodNeverTouchesTheClock(t *testing.T) {
+	count := 0
+	n := Run(trace(), Clock{}, 0, func(service.Request) { count++ })
+	if n != 3 || count != 3 {
+		t.Fatalf("flood submitted %d/%d", n, count)
+	}
+}
+
+// TestLoadRoundTrip: WriteTrace output loads back identically, with
+// comments and blank lines tolerated.
+func TestLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace()); err != nil {
+		t.Fatal(err)
+	}
+	text := "# a comment\n\n" + buf.String()
+	events, err := Load(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[1].Tenant != "b" || events[1].Priority != "low" ||
+		events[2].Offset != 1.5 || events[0].Request.ID != "e0" {
+		t.Fatalf("round trip drifted: %+v", events)
+	}
+	if events[0].Request.Join == nil || events[0].Request.Join.SF != 5 {
+		t.Fatalf("payload lost: %+v", events[0].Request)
+	}
+}
+
+// TestLoadRejectsBadTraces: errors name the offending line.
+func TestLoadRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown field", `{"offset_s":0,"tennant":"x","request":{}}`, "line 1"},
+		{"negative offset", `{"offset_s":-1,"request":{}}`, "non-negative"},
+		{"backwards offsets", "{\"offset_s\":2,\"request\":{}}\n{\"offset_s\":1,\"request\":{}}", "line 2"},
+		{"trailing data", `{"offset_s":0,"request":{}} extra`, "trailing"},
+		{"empty trace", "# nothing\n", "no events"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Load error = %v, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSyntheticIsSeededAndShaped: same seed, same trace; the first
+// tenant dominates at hotShare 0.9; offsets tick monotonically.
+func TestSyntheticIsSeededAndShaped(t *testing.T) {
+	a := Synthetic(2000, []string{"hot", "quiet"}, 0.9, 42)
+	b := Synthetic(2000, []string{"hot", "quiet"}, 0.9, 42)
+	if len(a) != 2000 {
+		t.Fatalf("generated %d events", len(a))
+	}
+	counts := map[string]int{}
+	lows := 0
+	for i := range a {
+		if a[i].Tenant != b[i].Tenant || a[i].Priority != b[i].Priority || a[i].Request.ID != b[i].Request.ID {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Offset <= a[i-1].Offset {
+			t.Fatalf("offsets not increasing at %d", i)
+		}
+		counts[a[i].Tenant]++
+		if a[i].Priority == "low" {
+			lows++
+		}
+	}
+	if counts["hot"] < 1600 || counts["quiet"] < 100 {
+		t.Fatalf("tenant split implausible for hotShare 0.9: %v", counts)
+	}
+	if lows < 300 || lows > 700 {
+		t.Fatalf("low-priority share implausible: %d/2000", lows)
+	}
+	if c := Synthetic(3, nil, 1, 1); c[0].Tenant != "default" {
+		t.Fatalf("nil tenants should land on default: %+v", c[0])
+	}
+}

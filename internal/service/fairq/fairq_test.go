@@ -1,0 +1,134 @@
+package fairq
+
+import (
+	"fmt"
+	"testing"
+)
+
+func drain[T any](q *Queue[T]) []T {
+	var out []T
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func eq(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v (first diff at %d)", got, want, i)
+		}
+	}
+}
+
+// TestDRRAlternatesEqualWeights: a flooding tenant and a trickling
+// tenant with equal weights alternate strictly — the hot tenant can
+// never put two items between two of the quiet tenant's.
+func TestDRRAlternatesEqualWeights(t *testing.T) {
+	q := New[string](nil)
+	for i := 0; i < 4; i++ {
+		q.Push("hot", High, fmt.Sprintf("h%d", i))
+	}
+	q.Push("quiet", High, "q0")
+	q.Push("quiet", High, "q1")
+	eq(t, drain(q), "h0", "q0", "h1", "q1", "h2", "h3")
+}
+
+// TestDRRWeights: weight 2 serves two items per round against weight 1.
+func TestDRRWeights(t *testing.T) {
+	weights := map[string]int{"a": 2, "b": 1}
+	q := New[string](func(tenant string) int { return weights[tenant] })
+	for i := 0; i < 4; i++ {
+		q.Push("a", High, fmt.Sprintf("a%d", i))
+		q.Push("b", High, fmt.Sprintf("b%d", i))
+	}
+	eq(t, drain(q), "a0", "a1", "b0", "a2", "a3", "b1", "b2", "b3")
+}
+
+// TestBandsAreStrict: every high-band item drains before any low-band
+// item, regardless of tenant or arrival order.
+func TestBandsAreStrict(t *testing.T) {
+	q := New[string](nil)
+	q.Push("a", Low, "aL")
+	q.Push("b", Low, "bL")
+	q.Push("b", High, "bH")
+	q.Push("a", High, "aH")
+	eq(t, drain(q), "bH", "aH", "aL", "bL")
+}
+
+// TestActivationOrderIsDeterministic: ring order follows the order
+// queues became non-empty, and a drained tenant re-activates at the
+// tail — replaying the same script replays the same drain order.
+func TestActivationOrderIsDeterministic(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		q := New[string](nil)
+		q.Push("b", High, "b0")
+		q.Push("a", High, "a0")
+		if v, _ := q.Pop(); v != "b0" {
+			t.Fatalf("run %d: first pop %q, want b0 (activation order)", run, v)
+		}
+		q.Push("b", High, "b1") // b drained? no — b is empty now, re-activates after a
+		eq(t, drain(q), "a0", "b1")
+	}
+}
+
+// TestEvictLowTakesNewest: eviction removes the newest low item of the
+// named tenant only, and empties clean up the ring.
+func TestEvictLowTakesNewest(t *testing.T) {
+	q := New[string](nil)
+	q.Push("a", Low, "a0")
+	q.Push("a", Low, "a1")
+	q.Push("b", Low, "b0")
+	v, ok := q.EvictLow("a")
+	if !ok || v != "a1" {
+		t.Fatalf("EvictLow = %q, %v; want a1", v, ok)
+	}
+	if _, ok := q.EvictLow("none"); ok {
+		t.Fatal("evicted from a tenant with no low items")
+	}
+	if q.Len() != 2 || q.TenantLen("a") != 1 || q.LowLen("a") != 1 {
+		t.Fatalf("lengths after evict: total=%d a=%d aLow=%d", q.Len(), q.TenantLen("a"), q.LowLen("a"))
+	}
+	eq(t, drain(q), "a0", "b0")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+// TestEvictLastLowRemovesFromRing: evicting a tenant's only low item
+// removes it from the low ring without disturbing other tenants' turns.
+func TestEvictLastLowRemovesFromRing(t *testing.T) {
+	q := New[string](nil)
+	q.Push("a", Low, "a0")
+	q.Push("b", Low, "b0")
+	q.Push("c", Low, "c0")
+	if v, ok := q.EvictLow("a"); !ok || v != "a0" {
+		t.Fatalf("EvictLow(a) = %q, %v", v, ok)
+	}
+	eq(t, drain(q), "b0", "c0")
+}
+
+// TestLengthsTrackPushPop: the counters the admission quota reads stay
+// exact across interleaved operations.
+func TestLengthsTrackPushPop(t *testing.T) {
+	q := New[int](nil)
+	q.Push("t", High, 1)
+	q.Push("t", Low, 2)
+	q.Push("u", High, 3)
+	if q.Len() != 3 || q.TenantLen("t") != 2 || q.LowLen("t") != 1 || q.TenantLen("u") != 1 {
+		t.Fatalf("lengths: %d %d %d %d", q.Len(), q.TenantLen("t"), q.LowLen("t"), q.TenantLen("u"))
+	}
+	q.Pop()
+	q.Pop()
+	q.Pop()
+	if q.Len() != 0 || q.TenantLen("t") != 0 || q.TenantLen("u") != 0 {
+		t.Fatalf("lengths after drain: %d %d %d", q.Len(), q.TenantLen("t"), q.TenantLen("u"))
+	}
+}
